@@ -1,0 +1,68 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding harness experiment
+// once per iteration (the harness itself repeats/aggregates where the
+// paper does) and reports the headline simulated seconds as metrics.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use Quick sweeps to keep wall time low; the
+// datampi-bench CLI runs the full sweeps.
+package datampi_test
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/harness"
+)
+
+// runExperiment executes a harness experiment b.N times and reports the
+// first and last numeric cell of the final row as metrics, giving each
+// figure a stable headline number in benchmark output.
+func runExperiment(b *testing.B, id string, quick bool) {
+	b.Helper()
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(harness.Options{Quick: quick, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		last := rep.Rows[len(rep.Rows)-1]
+		for ci := len(last) - 1; ci >= 1; ci-- {
+			if v, err := strconv.ParseFloat(trimPct(last[ci]), 64); err == nil {
+				b.ReportMetric(v, "lastcell")
+				break
+			}
+		}
+	}
+}
+
+func trimPct(s string) string {
+	if len(s) > 0 && s[len(s)-1] == '%' {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func BenchmarkTable1Workloads(b *testing.B)      { runExperiment(b, "table1", true) }
+func BenchmarkTable2Hardware(b *testing.B)       { runExperiment(b, "table2", true) }
+func BenchmarkFig2aBlockSizeTuning(b *testing.B) { runExperiment(b, "fig2a", true) }
+func BenchmarkFig2bTaskTuning(b *testing.B)      { runExperiment(b, "fig2b", true) }
+func BenchmarkFig3aNormalSort(b *testing.B)      { runExperiment(b, "fig3a", true) }
+func BenchmarkFig3bTextSort(b *testing.B)        { runExperiment(b, "fig3b", true) }
+func BenchmarkFig3cWordCount(b *testing.B)       { runExperiment(b, "fig3c", true) }
+func BenchmarkFig3dGrep(b *testing.B)            { runExperiment(b, "fig3d", true) }
+func BenchmarkFig4SortProfile(b *testing.B)      { runExperiment(b, "fig4sort", true) }
+func BenchmarkFig4WordCountProfile(b *testing.B) { runExperiment(b, "fig4wc", true) }
+func BenchmarkFig5SmallJobs(b *testing.B)        { runExperiment(b, "fig5", true) }
+func BenchmarkFig6aKMeans(b *testing.B)          { runExperiment(b, "fig6a", true) }
+func BenchmarkFig6bNaiveBayes(b *testing.B)      { runExperiment(b, "fig6b", true) }
+func BenchmarkFig7Summary(b *testing.B)          { runExperiment(b, "fig7", true) }

@@ -1,0 +1,115 @@
+// Command datampi-bench regenerates the tables and figures of
+// "Performance Benefits of DataMPI: A Case Study with BigDataBench"
+// on the simulated 8-node testbed.
+//
+// Usage:
+//
+//	datampi-bench list
+//	datampi-bench run <experiment-id>... [-scale N] [-quick] [-csv] [-plots]
+//	datampi-bench run all
+//
+// Experiment ids follow the paper's artifacts: table1 table2 fig2a fig2b
+// fig3a fig3b fig3c fig3d fig4sort fig4wc fig5 fig6a fig6b fig7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/datampi/datampi-go/internal/harness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N]")
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.Float64("scale", 0, "data scale divisor (nominal bytes per simulated byte); 0 = per-experiment default")
+	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	plots := fs.Bool("plots", false, "render ASCII time-series plots for the fig4 experiments")
+	seed := fs.Int64("seed", 0, "data generation seed (0 = default)")
+
+	var ids []string
+	for len(args) > 0 && args[0][0] != '-' {
+		ids = append(ids, args[0])
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if len(ids) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		sort.Strings(ids)
+	}
+
+	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		exp, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: datampi-bench list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep, err := exp.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+		} else {
+			fmt.Println(rep.Render())
+		}
+		if *plots && len(rep.Series) > 0 {
+			keys := make([]string, 0, len(rep.Series))
+			for k := range rep.Series {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				metric := k[indexByteAfterSlash(k):]
+				fmt.Printf("--- %s ---\n%s", k, rep.Series[k].RenderASCII(metric, 72, 10))
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func indexByteAfterSlash(s string) int {
+	for i := range s {
+		if s[i] == '/' {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,169 @@
+// Package datampi is the public API of the DataMPI reproduction: a
+// key-value pair based communication library extending MPI for
+// Hadoop/Spark-like Big Data computing, together with the simulated
+// testbed, the baseline engines (Hadoop-like MapReduce and Spark-like
+// RDDs), and the BigDataBench workloads used by the paper
+// "Performance Benefits of DataMPI: A Case Study with BigDataBench".
+//
+// The central abstractions:
+//
+//   - Testbed: a simulated 8-node cluster (Table 2 hardware) with an
+//     HDFS-like distributed filesystem.
+//   - Job: an engine-agnostic MapReduce-shaped job description (the O
+//     function plays map, the A function plays reduce).
+//   - Engine: anything that can run a Job — DataMPI itself via New, or
+//     the baselines via NewHadoop / NewSpark.
+//
+// A minimal program:
+//
+//	tb := datampi.NewTestbed(datampi.TestbedConfig{})
+//	in := tb.GenerateText("/in", 64*datampi.MB, 1)
+//	eng := datampi.New(tb.FS, datampi.DefaultConfig())
+//	res := eng.Run(datampi.WordCount(tb.FS, in, "/out", 8))
+//	fmt.Println(res.Elapsed, "simulated seconds")
+//
+// See examples/ for complete programs and internal/harness for the
+// paper's full experiment suite.
+package datampi
+
+import (
+	"github.com/datampi/datampi-go/internal/bdb"
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/core"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/mr"
+	"github.com/datampi/datampi-go/internal/rdd"
+)
+
+// Byte-size constants.
+const (
+	KB = cluster.KB
+	MB = cluster.MB
+	GB = cluster.GB
+)
+
+// Re-exported core types. The aliases give downstream users the full API
+// without importing internal packages.
+type (
+	// Job describes a key-value batch job (input, map/O function,
+	// combiner, reduce/A function, partitioner).
+	Job = job.Spec
+	// Result reports a finished job.
+	Result = job.Result
+	// Emit passes an intermediate record out of a map/O function.
+	Emit = job.Emit
+	// Pair is one key-value record.
+	Pair = kv.Pair
+	// Engine runs jobs; DataMPI, Hadoop and Spark engines implement it.
+	Engine = job.Engine
+	// DataMPIEngine is the paper's system (internal/core).
+	DataMPIEngine = core.Engine
+	// Config is the DataMPI cost/configuration profile.
+	Config = core.Config
+	// FS is the HDFS-like distributed filesystem.
+	FS = dfs.FS
+	// File is a DFS file handle.
+	File = dfs.File
+	// Profiler samples per-second cluster resource utilization.
+	Profiler = metrics.Profiler
+)
+
+// Format constants for Job.InputFormat.
+const (
+	Text    = job.Text
+	Seq     = job.Seq
+	SeqGzip = job.SeqGzip
+)
+
+// TestbedConfig sizes the simulated cluster and filesystem.
+type TestbedConfig struct {
+	// Nodes is the cluster size (default 8, the paper's testbed).
+	Nodes int
+	// BlockSize is the DFS block size in nominal bytes (default 256 MB,
+	// the paper's tuned value).
+	BlockSize float64
+	// Replication is the DFS replication factor (default 3).
+	Replication int
+	// Scale is the data-scaling divisor: nominal bytes represented per
+	// stored byte (default 1 = no scaling). See DESIGN.md.
+	Scale float64
+	// Seed drives replica placement and data generation.
+	Seed int64
+}
+
+// Testbed bundles a simulated cluster and its filesystem.
+type Testbed struct {
+	Cluster *cluster.Cluster
+	FS      *dfs.FS
+}
+
+// NewTestbed builds the paper's 8-node testbed (Table 2) with an empty
+// distributed filesystem.
+func NewTestbed(tc TestbedConfig) *Testbed {
+	hw := cluster.DefaultHardware()
+	if tc.Nodes > 0 {
+		hw.Nodes = tc.Nodes
+	}
+	c := cluster.New(hw)
+	cfg := dfs.DefaultConfig()
+	if tc.BlockSize > 0 {
+		cfg.BlockSize = tc.BlockSize
+	}
+	if tc.Replication > 0 {
+		cfg.Replication = tc.Replication
+	}
+	if tc.Scale >= 1 {
+		cfg.Scale = tc.Scale
+	}
+	cfg.Seed = tc.Seed + 1
+	return &Testbed{Cluster: c, FS: dfs.New(c, cfg)}
+}
+
+// NewProfiler attaches a resource profiler sampling every interval
+// simulated seconds; assign it to an engine's Prof field before running.
+func (t *Testbed) NewProfiler(interval float64) *metrics.Profiler {
+	p := metrics.NewProfiler(t.Cluster, interval)
+	t.FS.SetProfiler(p)
+	return p
+}
+
+// GenerateText stages nominalBytes of wikipedia-model text (the
+// BigDataBench lda_wiki1w generator) in the DFS.
+func (t *Testbed) GenerateText(name string, nominalBytes float64, seed int64) *dfs.File {
+	return bdb.GenerateTextFile(t.FS, name, bdb.LDAWiki1W(), seed, nominalBytes)
+}
+
+// New creates a DataMPI engine on the testbed's filesystem.
+func New(fs *dfs.FS, cfg Config) *core.Engine { return core.New(fs, cfg) }
+
+// DefaultConfig returns DataMPI's calibrated profile.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewHadoop creates the Hadoop-like MapReduce baseline engine.
+func NewHadoop(fs *dfs.FS) *mr.Engine { return mr.New(fs, mr.DefaultConfig()) }
+
+// NewSpark creates the Spark-like RDD baseline engine.
+func NewSpark(fs *dfs.FS) *rdd.Engine { return rdd.New(fs, rdd.DefaultConfig()) }
+
+// WordCount builds the WordCount micro-benchmark job.
+func WordCount(fs *dfs.FS, in *dfs.File, out string, reducers int) Job {
+	return bdb.WordCountSpec(fs, in, out, reducers)
+}
+
+// Grep builds the Grep micro-benchmark job for a regexp pattern.
+func Grep(fs *dfs.FS, in *dfs.File, out, pattern string, reducers int) Job {
+	return bdb.GrepSpec(fs, in, out, pattern, reducers)
+}
+
+// TextSort builds the total-order Text Sort micro-benchmark job.
+func TextSort(fs *dfs.FS, in *dfs.File, out string, reducers int) Job {
+	return bdb.TextSortSpec(fs, in, out, reducers)
+}
+
+// ReadTextOutput gathers and parses a finished job's output part files.
+func ReadTextOutput(fs *dfs.FS, prefix string) []Pair {
+	return job.ReadTextOutput(fs, prefix)
+}

@@ -1,0 +1,91 @@
+package datampi_test
+
+import (
+	"testing"
+
+	datampi "github.com/datampi/datampi-go"
+	"github.com/datampi/datampi-go/internal/kv"
+)
+
+// TestPublicAPIQuickstart exercises the facade the way the README's
+// quickstart does: testbed, generated input, DataMPI WordCount, output.
+func TestPublicAPIQuickstart(t *testing.T) {
+	tb := datampi.NewTestbed(datampi.TestbedConfig{Seed: 1})
+	in := tb.GenerateText("/in", 4*datampi.MB, 1)
+	eng := datampi.New(tb.FS, datampi.DefaultConfig())
+	res := eng.Run(datampi.WordCount(tb.FS, in, "/out", 8))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+	out := datampi.ReadTextOutput(tb.FS, "/out")
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+	var total int64
+	for _, p := range out {
+		total += kv.ParseInt(p.Value)
+	}
+	if total <= 0 {
+		t.Fatal("no words counted")
+	}
+}
+
+// TestPublicAPIThreeEngines runs the same Grep job on all three engines
+// through the facade and checks identical match totals plus the paper's
+// ordering (DataMPI fastest, Hadoop slowest).
+func TestPublicAPIThreeEngines(t *testing.T) {
+	type run struct {
+		name    string
+		elapsed float64
+		total   int64
+	}
+	var runs []run
+	for _, name := range []string{"Hadoop", "Spark", "DataMPI"} {
+		tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 1024, Seed: 2})
+		in := tb.GenerateText("/in", 2*datampi.GB, 2)
+		var eng datampi.Engine
+		switch name {
+		case "Hadoop":
+			eng = datampi.NewHadoop(tb.FS)
+		case "Spark":
+			eng = datampi.NewSpark(tb.FS)
+		default:
+			eng = datampi.New(tb.FS, datampi.DefaultConfig())
+		}
+		res := eng.Run(datampi.Grep(tb.FS, in, "/out", `th[ae]`, 16))
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		var total int64
+		for _, p := range datampi.ReadTextOutput(tb.FS, "/out") {
+			total += kv.ParseInt(p.Value)
+		}
+		runs = append(runs, run{name, res.Elapsed, total})
+	}
+	if runs[0].total != runs[1].total || runs[1].total != runs[2].total {
+		t.Fatalf("engines disagree on match counts: %+v", runs)
+	}
+	if !(runs[2].elapsed < runs[0].elapsed) {
+		t.Fatalf("DataMPI (%v) should beat Hadoop (%v)", runs[2].elapsed, runs[0].elapsed)
+	}
+}
+
+// TestTestbedConfigOverrides checks the facade's knobs take effect.
+func TestTestbedConfigOverrides(t *testing.T) {
+	tb := datampi.NewTestbed(datampi.TestbedConfig{
+		Nodes:       4,
+		BlockSize:   64 * datampi.MB,
+		Replication: 2,
+		Scale:       128,
+	})
+	if tb.Cluster.N() != 4 {
+		t.Fatalf("nodes = %d", tb.Cluster.N())
+	}
+	cfg := tb.FS.Config()
+	if cfg.BlockSize != 64*datampi.MB || cfg.Replication != 2 || cfg.Scale != 128 {
+		t.Fatalf("fs config = %+v", cfg)
+	}
+}

@@ -1,0 +1,61 @@
+// Logsearch runs the Grep micro-benchmark as a log-analysis scenario
+// (the paper's Section 3.1 motivates Grep as a fundamental analysis
+// operation): scan a corpus for a regular expression on all three
+// engines and compare job times and match counts — Figure 3(d) at one
+// size, interactively.
+//
+// Usage: go run ./examples/logsearch [pattern] [sizeGB]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	datampi "github.com/datampi/datampi-go"
+	"github.com/datampi/datampi-go/internal/kv"
+)
+
+func main() {
+	pattern := `th[ae]`
+	sizeGB := 4.0
+	if len(os.Args) > 1 {
+		pattern = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.ParseFloat(os.Args[2], 64)
+		if err != nil {
+			log.Fatalf("bad size %q: %v", os.Args[2], err)
+		}
+		sizeGB = v
+	}
+	const scale = 8192
+	fmt.Printf("grep %q over %.0f GB of wikipedia-model text\n\n", pattern, sizeGB)
+	fmt.Printf("%-8s  %8s  %12s  %14s\n", "engine", "job (s)", "matches", "distinct terms")
+
+	type build func(fs *datampi.FS) datampi.Engine
+	for _, e := range []struct {
+		name  string
+		build build
+	}{
+		{"Hadoop", func(fs *datampi.FS) datampi.Engine { return datampi.NewHadoop(fs) }},
+		{"Spark", func(fs *datampi.FS) datampi.Engine { return datampi.NewSpark(fs) }},
+		{"DataMPI", func(fs *datampi.FS) datampi.Engine { return datampi.New(fs, datampi.DefaultConfig()) }},
+	} {
+		tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: scale, Seed: 3})
+		in := tb.GenerateText("/logs/in", sizeGB*datampi.GB, 3)
+		eng := e.build(tb.FS)
+		res := eng.Run(datampi.Grep(tb.FS, in, "/logs/out", pattern, 32))
+		if res.Err != nil {
+			log.Fatalf("%s: %v", e.name, res.Err)
+		}
+		var matches int64
+		out := datampi.ReadTextOutput(tb.FS, "/logs/out")
+		for _, p := range out {
+			matches += kv.ParseInt(p.Value)
+		}
+		fmt.Printf("%-8s  %8.0f  %12d  %14d\n", e.name, res.Elapsed, matches, len(out))
+	}
+	fmt.Println("\npaper: DataMPI cuts Grep time by 33%-42% vs Hadoop and 19%-29% vs Spark")
+}

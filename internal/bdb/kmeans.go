@@ -1,0 +1,451 @@
+package bdb
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/datampi/datampi-go/internal/core"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/rdd"
+)
+
+// KMeansDim is the term-space dimensionality (the seed models' vocabulary).
+const KMeansDim = 10000
+
+// KMeansResult reports a K-means training run.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Iterations int
+	IterTimes  []float64 // per-iteration durations
+	FirstIter  float64   // iteration 1 including input load — the paper's metric
+	Elapsed    float64
+	Err        error
+}
+
+// InitialCentroids picks the first k parsed vectors as starting centroids
+// (deterministic, data-driven — Mahout's canopy-less default is similar).
+func InitialCentroids(in *dfs.File, k int) ([][]float64, error) {
+	cents := make([][]float64, 0, k)
+	for _, blk := range in.Blocks {
+		for _, line := range bytes.Split(blk.Data, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			v, err := ParseSparseVec(line)
+			if err != nil {
+				return nil, err
+			}
+			c := make([]float64, KMeansDim)
+			v.AddTo(c)
+			cents = append(cents, c)
+			if len(cents) == k {
+				return cents, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("bdb: input has fewer than %d vectors", k)
+}
+
+func norm2(c []float64) float64 {
+	s := 0.0
+	for _, x := range c {
+		s += x * x
+	}
+	return s
+}
+
+// NearestCentroid returns the index of the closest centroid.
+func NearestCentroid(v SparseVec, cents [][]float64, norms []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for ci := range cents {
+		d := v.DistanceSq(cents[ci], norms[ci])
+		if d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// encodePartial renders "count|idx:val ..." for a cluster partial sum.
+func encodePartial(n int64, sum []float64) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d|", n)
+	first := true
+	for i, x := range sum {
+		if x == 0 {
+			continue
+		}
+		if !first {
+			buf.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&buf, "%d:%.6g", i, x)
+	}
+	return buf.Bytes()
+}
+
+func decodePartial(b []byte) (int64, SparseVec, error) {
+	i := bytes.IndexByte(b, '|')
+	if i < 0 {
+		return 0, SparseVec{}, fmt.Errorf("bdb: bad partial %q", b)
+	}
+	n, err := strconv.ParseInt(string(b[:i]), 10, 64)
+	if err != nil {
+		return 0, SparseVec{}, err
+	}
+	v, err := ParseSparseVec(b[i+1:])
+	return n, v, err
+}
+
+// kmeansCombine sums partial sums per cluster (the Mahout combiner).
+func kmeansCombine(key []byte, values [][]byte) [][]byte {
+	var total int64
+	sum := make([]float64, KMeansDim)
+	for _, val := range values {
+		n, v, err := decodePartial(val)
+		if err != nil {
+			continue
+		}
+		total += n
+		v.AddTo(sum)
+	}
+	return [][]byte{encodePartial(total, sum)}
+}
+
+// kmeansReduce computes the new centroid from the cluster's partials.
+func kmeansReduce(key []byte, values [][]byte) []kv.Pair {
+	var total int64
+	sum := make([]float64, KMeansDim)
+	for _, val := range values {
+		n, v, err := decodePartial(val)
+		if err != nil {
+			continue
+		}
+		total += n
+		v.AddTo(sum)
+	}
+	if total > 0 {
+		for i := range sum {
+			sum[i] /= float64(total)
+		}
+	}
+	return []kv.Pair{{Key: key, Value: encodePartial(total, sum)}}
+}
+
+// kmeansIterSpec builds one Lloyd iteration as a MapReduce job against
+// the current centroids — exactly Mahout's per-iteration job shape.
+func kmeansIterSpec(fsys *dfs.FS, in *dfs.File, out string, reducers int,
+	cents [][]float64, norms []float64) job.Spec {
+	return job.Spec{
+		Name: "KMeansIter", FS: fsys, Input: in, InputFormat: job.Text,
+		Output: out, Reducers: reducers,
+		Map: func(key, value []byte, emit job.Emit) {
+			v, err := ParseSparseVec(value)
+			if err != nil || len(v.Idx) == 0 {
+				return
+			}
+			ci := NearestCentroid(v, cents, norms)
+			sum := make([]float64, KMeansDim)
+			v.AddTo(sum)
+			emit([]byte(strconv.Itoa(ci)), encodePartial(1, sum))
+		},
+		Combine:      kmeansCombine,
+		Reduce:       kmeansReduce,
+		MapCPUFactor: KMeansCPUFactor,
+	}
+}
+
+// parseCentroidOutput reads an iteration job's reduce output into dense
+// centroids, keeping previous centroids for empty clusters.
+func parseCentroidOutput(fsys *dfs.FS, prefix string, prev [][]float64) ([][]float64, error) {
+	next := make([][]float64, len(prev))
+	for i := range prev {
+		next[i] = append([]float64(nil), prev[i]...)
+	}
+	for _, p := range job.ReadTextOutput(fsys, prefix) {
+		ci, err := strconv.Atoi(string(p.Key))
+		if err != nil || ci < 0 || ci >= len(next) {
+			continue
+		}
+		_, v, err := decodePartial(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		c := make([]float64, KMeansDim)
+		v.AddTo(c)
+		next[ci] = c
+	}
+	return next, nil
+}
+
+func centroidShift(a, b [][]float64) float64 {
+	s := 0.0
+	for i := range a {
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// KMeansMR trains K-means by running one MapReduce job per iteration on
+// any job.Engine — how Mahout drives Hadoop, and how DataMPI's
+// Common-mode port of the "Mahout actuating logic" works (Section 4.6).
+func KMeansMR(eng job.Engine, fsys *dfs.FS, in *dfs.File, outPrefix string,
+	k, reducers, maxIter int, epsilon float64) KMeansResult {
+	var res KMeansResult
+	cents, err := InitialCentroids(in, k)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	start := fsys.Cluster().Eng.Now()
+	for iter := 1; iter <= maxIter; iter++ {
+		norms := make([]float64, k)
+		for i := range cents {
+			norms[i] = norm2(cents[i])
+		}
+		out := fmt.Sprintf("%s/clusters-%d", outPrefix, iter)
+		t0 := fsys.Cluster().Eng.Now()
+		jr := eng.Run(kmeansIterSpec(fsys, in, out, reducers, cents, norms))
+		if jr.Err != nil {
+			res.Err = jr.Err
+			return res
+		}
+		res.IterTimes = append(res.IterTimes, jr.Elapsed)
+		if iter == 1 {
+			res.FirstIter = fsys.Cluster().Eng.Now() - start
+		}
+		next, err := parseCentroidOutput(fsys, out, cents)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		shift := centroidShift(cents, next)
+		cents = next
+		res.Iterations = iter
+		_ = t0
+		if shift < epsilon {
+			break
+		}
+	}
+	res.Centroids = cents
+	res.Elapsed = fsys.Cluster().Eng.Now() - start
+	return res
+}
+
+// KMeansSpark trains K-means on the RDD engine with the input vectors
+// cached in memory after the first pass — Spark's headline iterative
+// advantage ("outstanding performance ... after caching the data in the
+// RDDs", Section 4.6).
+func KMeansSpark(e *rdd.Engine, in *dfs.File, k, reducers, maxIter int, epsilon float64) KMeansResult {
+	var res KMeansResult
+	cents, err := InitialCentroids(in, k)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	start := e.C.Eng.Now()
+	vectors := e.TextFile(in).Cache()
+	for iter := 1; iter <= maxIter; iter++ {
+		cs := cents
+		norms := make([]float64, k)
+		for i := range cs {
+			norms[i] = norm2(cs[i])
+		}
+		partials := vectors.FlatMapKV(func(key, value []byte, emit job.Emit) {
+			v, err := ParseSparseVec(value)
+			if err != nil || len(v.Idx) == 0 {
+				return
+			}
+			ci := NearestCentroid(v, cs, norms)
+			sum := make([]float64, KMeansDim)
+			v.AddTo(sum)
+			emit([]byte(strconv.Itoa(ci)), encodePartial(1, sum))
+		}, KMeansCPUFactor).ReduceByKey(kmeansCombine, kmeansReduce, reducers)
+		pairs, jr := partials.Collect()
+		if jr.Err != nil {
+			res.Err = jr.Err
+			return res
+		}
+		res.IterTimes = append(res.IterTimes, jr.Elapsed)
+		if iter == 1 {
+			res.FirstIter = e.C.Eng.Now() - start
+		}
+		next := make([][]float64, len(cents))
+		for i := range cents {
+			next[i] = append([]float64(nil), cents[i]...)
+		}
+		for _, p := range pairs {
+			ci, err := strconv.Atoi(string(p.Key))
+			if err != nil || ci < 0 || ci >= k {
+				continue
+			}
+			_, v, err := decodePartial(p.Value)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			c := make([]float64, KMeansDim)
+			v.AddTo(c)
+			next[ci] = c
+		}
+		shift := centroidShift(cents, next)
+		cents = next
+		res.Iterations = iter
+		if shift < epsilon {
+			break
+		}
+	}
+	res.Centroids = cents
+	res.Elapsed = e.C.Eng.Now() - start
+	return res
+}
+
+// kmState is the broadcastable DataMPI iteration state.
+type kmState struct {
+	cents [][]float64
+	norms []float64
+}
+
+// KMeansDataMPI trains K-means in DataMPI's Iteration mode: vectors stay
+// cached in the O tasks' memory, partial sums pipeline to A tasks each
+// round, and the merged centroids broadcast back.
+func KMeansDataMPI(e *core.Engine, in *dfs.File, k, maxIter int, epsilon float64) KMeansResult {
+	var res KMeansResult
+	cents, err := InitialCentroids(in, k)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	init := kmState{cents: cents, norms: make([]float64, k)}
+	for i := range cents {
+		init.norms[i] = norm2(cents[i])
+	}
+	itJob := core.IterationJob[kmState]{
+		Name: "KMeans", Input: in, InputFormat: job.Text,
+		Rounds:     maxIter,
+		CPUFactorO: KMeansCPUFactor,
+		LoadO: func(records []kv.Pair) any {
+			var vecs []SparseVec
+			for _, r := range records {
+				v, err := ParseSparseVec(r.Value)
+				if err == nil && len(v.Idx) > 0 {
+					vecs = append(vecs, v)
+				}
+			}
+			return vecs
+		},
+		RunO: func(round int, st kmState, cached any, emit job.Emit) {
+			vecs := cached.([]SparseVec)
+			sums := make([][]float64, k)
+			counts := make([]int64, k)
+			for _, v := range vecs {
+				ci := NearestCentroid(v, st.cents, st.norms)
+				if sums[ci] == nil {
+					sums[ci] = make([]float64, KMeansDim)
+				}
+				v.AddTo(sums[ci])
+				counts[ci]++
+			}
+			for ci := range sums {
+				if counts[ci] > 0 {
+					emit([]byte(strconv.Itoa(ci)), encodePartial(counts[ci], sums[ci]))
+				}
+			}
+		},
+		RunA: func(round int, grouped []kv.Pair) []kv.Pair {
+			return kv.GroupReduce(grouped, kmeansReduce)
+		},
+		MergeState: func(round int, st kmState, aggs []kv.Pair) (kmState, bool) {
+			next := make([][]float64, k)
+			for i := range st.cents {
+				next[i] = append([]float64(nil), st.cents[i]...)
+			}
+			for _, p := range aggs {
+				ci, err := strconv.Atoi(string(p.Key))
+				if err != nil || ci < 0 || ci >= k {
+					continue
+				}
+				_, v, err := decodePartial(p.Value)
+				if err != nil {
+					continue
+				}
+				c := make([]float64, KMeansDim)
+				v.AddTo(c)
+				next[ci] = c
+			}
+			shift := centroidShift(st.cents, next)
+			ns := kmState{cents: next, norms: make([]float64, k)}
+			for i := range next {
+				ns.norms[i] = norm2(next[i])
+			}
+			return ns, shift < epsilon
+		},
+		StateNominalBytes: float64(k * KMeansDim * 8),
+	}
+	ir := core.RunIteration(e, itJob, init)
+	res.Err = ir.Err
+	res.Centroids = ir.State.cents
+	res.Iterations = ir.Rounds
+	res.IterTimes = ir.RoundTimes
+	res.FirstIter = ir.FirstRound
+	res.Elapsed = ir.Elapsed
+	return res
+}
+
+// KMeansReference runs one sequential Lloyd iteration — the correctness
+// oracle all engines are checked against.
+func KMeansReference(in *dfs.File, cents [][]float64, iters int) ([][]float64, error) {
+	k := len(cents)
+	var vecs []SparseVec
+	for _, blk := range in.Blocks {
+		for _, line := range bytes.Split(blk.Data, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			v, err := ParseSparseVec(line)
+			if err != nil {
+				return nil, err
+			}
+			if len(v.Idx) > 0 {
+				vecs = append(vecs, v)
+			}
+		}
+	}
+	cur := cents
+	for it := 0; it < iters; it++ {
+		norms := make([]float64, k)
+		for i := range cur {
+			norms[i] = norm2(cur[i])
+		}
+		sums := make([][]float64, k)
+		counts := make([]int64, k)
+		for i := range sums {
+			sums[i] = make([]float64, KMeansDim)
+		}
+		for _, v := range vecs {
+			ci := NearestCentroid(v, cur, norms)
+			v.AddTo(sums[ci])
+			counts[ci]++
+		}
+		next := make([][]float64, k)
+		for ci := range next {
+			if counts[ci] > 0 {
+				for j := range sums[ci] {
+					sums[ci][j] /= float64(counts[ci])
+				}
+				next[ci] = sums[ci]
+			} else {
+				next[ci] = append([]float64(nil), cur[ci]...)
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}

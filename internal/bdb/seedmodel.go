@@ -1,0 +1,136 @@
+// Package bdb reimplements the BigDataBench 2.1 pieces the paper uses:
+// the Text Generator with its trained seed models (lda_wiki1w from the
+// wikipedia corpus, amazon1..amazon5 from Amazon movie reviews), the
+// ToSeqFile converter (sequence files compressed with GzipCodec), and the
+// five chosen workloads — Sort, WordCount, Grep, K-means and Naive Bayes
+// (Table 1) — runnable on all three engines.
+//
+// The real BigDataBench models are LDA topic models trained on real
+// corpora; here each seed model is a seeded Zipfian unigram model with a
+// category-specific signature vocabulary. That preserves the data
+// characteristics the workloads are sensitive to: heavy-tailed word
+// frequencies (WordCount/Grep selectivity and combiner effectiveness),
+// compressibility (Normal Sort's gzip input), and per-category term
+// separability (Naive Bayes accuracy, K-means cluster structure).
+package bdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// SeedModel is a synthetic stand-in for a BigDataBench generator seed
+// model: a Zipfian unigram distribution over a vocabulary, optionally
+// biased toward a signature band of category terms.
+type SeedModel struct {
+	Name      string
+	Vocab     int     // vocabulary size
+	ZipfS     float64 // Zipf skew (>1)
+	SigStart  int     // first signature word index (category models)
+	SigLen    int     // number of signature words
+	SigWeight float64 // probability of drawing from the signature band
+}
+
+// LDAWiki1W is the lda_wiki1w seed model trained from wikipedia entries,
+// used by the paper for Sort, WordCount and Grep inputs.
+func LDAWiki1W() *SeedModel {
+	return &SeedModel{Name: "lda_wiki1w", Vocab: 10000, ZipfS: 1.07}
+}
+
+// Amazon returns the amazonN seed model (1-based, N in 1..5), used for
+// the K-means and Naive Bayes category inputs. Each category biases a
+// disjoint signature band of the vocabulary so categories are separable.
+func Amazon(n int) *SeedModel {
+	if n < 1 || n > 5 {
+		panic(fmt.Sprintf("bdb: amazon model index %d out of range", n))
+	}
+	return &SeedModel{
+		Name:      fmt.Sprintf("amazon%d", n),
+		Vocab:     10000,
+		ZipfS:     1.05,
+		SigStart:  2000 + (n-1)*800,
+		SigLen:    800,
+		SigWeight: 0.55,
+	}
+}
+
+// baseWords seeds the vocabulary with common English words so generated
+// text looks like text; the tail is synthetic.
+var baseWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "was", "he", "for",
+	"it", "with", "as", "his", "on", "be", "at", "by", "had", "not",
+	"are", "but", "from", "or", "have", "an", "they", "which", "one", "you",
+	"were", "her", "all", "she", "there", "would", "their", "we", "him", "been",
+	"has", "when", "who", "will", "more", "no", "if", "out", "so", "said",
+	"what", "up", "its", "about", "into", "than", "them", "can", "only", "other",
+	"new", "some", "could", "time", "these", "two", "may", "then", "do", "first",
+	"any", "my", "now", "such", "like", "our", "over", "man", "me", "even",
+	"most", "made", "after", "also", "did", "many", "before", "must", "through", "years",
+	"where", "much", "your", "way", "well", "down", "should", "because", "each", "just",
+}
+
+// Word returns vocabulary entry i.
+func (m *SeedModel) Word(i int) string {
+	if i < len(baseWords) {
+		return baseWords[i]
+	}
+	return fmt.Sprintf("%s%04d", syllable(i), i)
+}
+
+// syllable makes synthetic words pronounceable-ish and category-distinct.
+func syllable(i int) string {
+	cons := "bcdfghklmnprstvw"
+	vow := "aeiou"
+	return string([]byte{cons[i%len(cons)], vow[(i/7)%len(vow)], cons[(i/31)%len(cons)]})
+}
+
+// Sampler draws words from the model with a deterministic stream.
+type Sampler struct {
+	m    *SeedModel
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewSampler creates a deterministic word sampler for a seed.
+func (m *SeedModel) NewSampler(seed int64) *Sampler {
+	rng := rand.New(rand.NewSource(seed))
+	return &Sampler{
+		m:    m,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, m.ZipfS, 1, uint64(m.Vocab-1)),
+	}
+}
+
+// NextWordIndex draws one word index.
+func (s *Sampler) NextWordIndex() int {
+	if s.m.SigLen > 0 && s.rng.Float64() < s.m.SigWeight {
+		return s.m.SigStart + s.rng.Intn(s.m.SigLen)
+	}
+	return int(s.zipf.Uint64())
+}
+
+// NextWord draws one word.
+func (s *Sampler) NextWord() string { return s.m.Word(s.NextWordIndex()) }
+
+// Line generates one text line of nWords words into buf.
+func (s *Sampler) Line(buf *bytes.Buffer, nWords int) {
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		buf.WriteString(s.NextWord())
+	}
+	buf.WriteByte('\n')
+}
+
+// GenerateText produces approximately nBytes of newline-separated text.
+func (m *SeedModel) GenerateText(seed int64, nBytes int) []byte {
+	s := m.NewSampler(seed)
+	var buf bytes.Buffer
+	buf.Grow(nBytes + 256)
+	for buf.Len() < nBytes {
+		s.Line(&buf, 5+s.rng.Intn(11))
+	}
+	return buf.Bytes()
+}

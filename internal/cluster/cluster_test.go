@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+func TestDefaultHardwareMatchesTable2(t *testing.T) {
+	hw := DefaultHardware()
+	if hw.Nodes != 8 {
+		t.Fatalf("nodes = %d, want 8", hw.Nodes)
+	}
+	if hw.MemoryBytes != 16*GB {
+		t.Fatalf("memory = %v, want 16GB", hw.MemoryBytes)
+	}
+	rows := hw.TableRows()
+	want := map[string]string{
+		"CPU type":  "Intel Xeon E5620",
+		"# threads": "16 threads",
+		"Memory":    "16 GB",
+	}
+	got := map[string]string{}
+	for _, r := range rows {
+		got[r[0]] = r[1]
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Table2[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestClusterResourcesWired(t *testing.T) {
+	c := New(DefaultHardware())
+	if c.N() != 8 || c.Net.Nodes() != 8 {
+		t.Fatal("cluster size mismatch")
+	}
+	for i := 0; i < c.N(); i++ {
+		n := c.Node(i)
+		if n.CPU.Capacity() != 8 {
+			t.Fatalf("node %d CPU capacity %v", i, n.CPU.Capacity())
+		}
+		if n.Mem.Limit() != 16*GB {
+			t.Fatalf("node %d memory %v", i, n.Mem.Limit())
+		}
+	}
+}
+
+func TestDiskThrashSlowsHighConcurrency(t *testing.T) {
+	// Time to move the same total bytes with 4 streams vs 16 streams:
+	// beyond the thrash allowance the disk loses efficiency, so 16
+	// streams must be slower despite equal total work.
+	run := func(streams int) float64 {
+		c := New(DefaultHardware())
+		total := 2.0 * GB
+		per := total / float64(streams)
+		for i := 0; i < streams; i++ {
+			c.Eng.Go("s", func(p *sim.Proc) {
+				c.Node(0).Disk.Use(p, per, "disk")
+			})
+		}
+		if err := c.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Eng.Now()
+	}
+	t4, t16 := run(4), run(16)
+	if t16 <= t4*1.05 {
+		t.Fatalf("16 streams (%.1fs) should be clearly slower than 4 (%.1fs)", t16, t4)
+	}
+}
+
+func TestSharedEngineTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	c1 := NewOn(eng, DefaultHardware())
+	eng.Go("a", func(p *sim.Proc) { p.Sleep(5) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Eng.Now() != 5 {
+		t.Fatalf("timeline = %v", c1.Eng.Now())
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+)
+
+// TestAblationPipeliningOverlapWins quantifies the paper's headline
+// mechanism: with pipelining disabled (communication after computation,
+// Hadoop-style), the same sort job must be measurably slower.
+func TestAblationPipeliningOverlapWins(t *testing.T) {
+	run := func(disable bool) float64 {
+		_, fs, eng := testSetup(256*cluster.MB, 8192)
+		eng.Cfg.DisablePipelining = disable
+		in := fs.PreloadAligned("/in", genText(21, int(8*cluster.GB/8192)), '\n')
+		spec := job.Spec{
+			Name: "ablation-sort", FS: fs, Input: in, InputFormat: job.Text,
+			Output: "/out", Reducers: 32,
+			Map:  func(key, value []byte, emit job.Emit) { emit(value, nil) },
+			Part: kv.HashPartitioner{},
+		}
+		res := eng.Run(spec)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Elapsed
+	}
+	pipelined, staged := run(false), run(true)
+	if staged <= pipelined {
+		t.Fatalf("disabling pipelining should slow the job: pipelined=%.1fs staged=%.1fs", pipelined, staged)
+	}
+	if staged < pipelined*1.05 {
+		t.Fatalf("pipelining gain suspiciously small: %.1fs vs %.1fs", pipelined, staged)
+	}
+}
+
+// TestAblationABufferSpills quantifies the in-memory intermediate
+// buffering: shrinking the A-side buffer forces disk round-trips and
+// slows the job (DataMPI degenerating toward disk-staged shuffle).
+func TestAblationABufferSpills(t *testing.T) {
+	run := func(buf float64) float64 {
+		_, fs, eng := testSetup(256*cluster.MB, 8192)
+		eng.Cfg.ABufferBytes = buf
+		in := fs.PreloadAligned("/in", genText(22, int(8*cluster.GB/8192)), '\n')
+		spec := job.Spec{
+			Name: "ablation-buffer", FS: fs, Input: in, InputFormat: job.Text,
+			Output: "/out", Reducers: 32,
+			Map:  func(key, value []byte, emit job.Emit) { emit(value, nil) },
+			Part: kv.HashPartitioner{},
+		}
+		res := eng.Run(spec)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Elapsed
+	}
+	inMemory, spilling := run(512*cluster.MB), run(16*cluster.MB)
+	if spilling <= inMemory {
+		t.Fatalf("tiny A buffer should cost time: inMemory=%.1fs spilling=%.1fs", inMemory, spilling)
+	}
+}

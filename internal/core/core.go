@@ -1,0 +1,506 @@
+// Package core implements DataMPI, the paper's primary contribution: a
+// key-value-pair communication library extending MPI for Hadoop/Spark-like
+// Big Data computing (Lu et al., IPDPS '14; this paper, Section 2.3).
+//
+// A DataMPI job forms a bipartite graph of tasks split into an O (origin)
+// communicator and an A (acceptor) communicator. The library supports the
+// "4D" communication characteristics the DataMPI papers identify:
+//
+//   - dichotomic: tasks are divided into the O and A sides;
+//   - dynamic: concurrent tasks are scheduled onto the communicators as
+//     slots free up;
+//   - data-centric: emitted key-value pairs are partitioned and buffered
+//     at the A-side workers so A tasks read their intermediate data
+//     locally;
+//   - diversified: Common mode covers MapReduce-style jobs and Iteration
+//     mode covers iterative jobs (K-means), with in-memory state reuse.
+//
+// The headline mechanism the paper credits for DataMPI's wins is
+// implemented directly: O tasks pipeline the partitioned intermediate
+// data to A-side memory buffers *while* they compute, so communication
+// overlaps computation and the intermediate data never touches disk
+// unless the A-side buffer overflows. Per-task processes are native (no
+// JVM), so startup and per-byte CPU costs are low; both constants come
+// from the paper's own measurements (see EXPERIMENTS.md).
+package core
+
+import (
+	"fmt"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/mpi"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// Config is the DataMPI cost/configuration profile.
+type Config struct {
+	TasksPerNode int // concurrent O tasks per node; also A tasks per node
+
+	MPIRunLaunch float64 // mpirun + process spawn across the cluster (s)
+	TaskStart    float64 // per-task initialization (s)
+	JobFinalize  float64 // result commit + MPI_Finalize (s)
+
+	SendBufferBytes float64 // per-destination O-side send buffer (pipelining unit)
+	ABufferBytes    float64 // A-side in-memory intermediate buffer per task
+
+	CPUPerByteO    float64 // core-sec per nominal input byte in O tasks (native code)
+	CPUPerByteA    float64 // core-sec per nominal buffered byte in A tasks
+	CPUPerByteEmit float64 // serialization/partitioning cost per emitted nominal byte
+	CPUPerByteSort float64
+	CPUPerRecord   float64
+	OverheadFactor float64 // background library overhead per task core-sec
+
+	ProcBaseMem float64 // resident memory per MPI process
+	DaemonMem   float64 // per-node runtime residency
+
+	// DisablePipelining is an ablation switch: when set, O tasks send
+	// their partitioned output only after the read and computation
+	// complete — Hadoop's post-map shuffle shape — instead of overlapping
+	// communication with computation. It quantifies the paper's headline
+	// mechanism (Section 2.3: "Data movement is pipelining with the
+	// computation overlapped in O tasks").
+	DisablePipelining bool
+
+	// Checkpoint enables key-value checkpointing of A-side intermediate
+	// data to the DFS (DataMPI's fault-tolerance mechanism).
+	Checkpoint bool
+	// FailATask, if >= 0, makes that A task crash once after receiving
+	// its data — failure injection for checkpoint/restart tests.
+	FailATask int
+	// RestartDelay is the time to detect a failed task and respawn it.
+	RestartDelay float64
+}
+
+// DefaultConfig returns the calibrated DataMPI profile.
+func DefaultConfig() Config {
+	return Config{
+		TasksPerNode:    4,
+		MPIRunLaunch:    5.0,
+		TaskStart:       0.5,
+		JobFinalize:     3.0,
+		SendBufferBytes: 4 * cluster.MB,
+		ABufferBytes:    512 * cluster.MB,
+		CPUPerByteO:     0.32e-7, // native record processing, ~2x leaner than JVM
+		CPUPerByteA:     0.50e-7,
+		CPUPerByteEmit:  0.45e-7,
+		CPUPerByteSort:  0.25e-7,
+		CPUPerRecord:    0.5e-6,
+		OverheadFactor:  0.08,
+		ProcBaseMem:     0.6 * cluster.GB,
+		DaemonMem:       0.2 * cluster.GB,
+		FailATask:       -1,
+		RestartDelay:    2.0,
+	}
+}
+
+// Engine runs DataMPI Common-mode jobs. It implements job.Engine.
+type Engine struct {
+	C    *cluster.Cluster
+	FS   *dfs.FS
+	Cfg  Config
+	Prof *metrics.Profiler
+}
+
+// New creates a DataMPI engine over a filesystem.
+func New(fs *dfs.FS, cfg Config) *Engine {
+	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+}
+
+// Name implements job.Engine.
+func (e *Engine) Name() string { return "DataMPI" }
+
+func (e *Engine) scale() float64 { return e.FS.Config().Scale }
+
+// Run executes a Common-mode job: the equivalent of one MapReduce round,
+// with spec.Map as the O function and spec.Reduce as the A function.
+func (e *Engine) Run(spec job.Spec) job.Result {
+	spec.Normalize()
+	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	eng := e.C.Eng
+	res.Start = eng.Now()
+
+	for i := 0; i < e.C.N(); i++ {
+		e.C.Node(i).Mem.MustAlloc(e.Cfg.DaemonMem)
+	}
+	defer func() {
+		for i := 0; i < e.C.N(); i++ {
+			e.C.Node(i).Mem.Free(e.Cfg.DaemonMem)
+		}
+	}()
+
+	if e.Prof != nil {
+		e.Prof.WaitIOFunc = func(node int) int {
+			return eng.CountBlocked(func(p *sim.Proc) bool {
+				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
+			})
+		}
+		e.Prof.Start()
+	}
+
+	blocks := spec.Input.Blocks
+	if len(blocks) == 0 {
+		res.Err = fmt.Errorf("datampi: job %s has empty input", spec.Name)
+		if e.Prof != nil {
+			e.Prof.Stop()
+		}
+		return res
+	}
+
+	nO := e.Cfg.TasksPerNode * e.C.N()
+	if nO > len(blocks) {
+		nO = len(blocks)
+	}
+	nA := spec.Reducers
+	world := e.buildWorld(nO, nA)
+	splitsOf := e.assignSplits(blocks, nO, world)
+
+	var jobErr error
+	fail := func(err error) {
+		if jobErr == nil {
+			jobErr = err
+		}
+	}
+	var oPhaseEnd float64
+	oDone := 0
+
+	var wg sim.WaitGroup
+	eng.Go("datampi-driver:"+spec.Name, func(driver *sim.Proc) {
+		// mpirun spawns every task process across the cluster at once —
+		// no per-wave JVM costs, the paper's "low overhead" property.
+		driver.Sleep(e.Cfg.MPIRunLaunch)
+
+		wg.Add(nO + nA)
+		for o := 0; o < nO; o++ {
+			o := o
+			eng.Go(fmt.Sprintf("O-%d", o), func(p *sim.Proc) {
+				defer wg.Done()
+				p.Node = world.NodeOf(o)
+				if err := e.runOTask(p, &spec, world, o, nO, nA, splitsOf[o]); err != nil {
+					fail(err)
+				} else {
+					res.AddCounter("o_tasks", 1)
+				}
+				oDone++
+				if oDone == nO {
+					oPhaseEnd = eng.Now()
+				}
+			})
+		}
+		totalSplits := len(blocks)
+		for a := 0; a < nA; a++ {
+			a := a
+			eng.Go(fmt.Sprintf("A-%d", a), func(p *sim.Proc) {
+				defer wg.Done()
+				p.Node = world.NodeOf(nO + a)
+				if err := e.runATask(p, &spec, world, nO, a, totalSplits, &res); err != nil {
+					fail(err)
+				} else {
+					res.AddCounter("a_tasks", 1)
+				}
+			})
+		}
+		wg.Wait(driver)
+		driver.Sleep(e.Cfg.JobFinalize)
+		if e.Prof != nil {
+			e.Prof.Stop()
+		}
+	})
+
+	if err := eng.Run(); err != nil && jobErr == nil {
+		jobErr = err
+	}
+	res.End = eng.Now()
+	res.Elapsed = res.End - res.Start
+	if oPhaseEnd > 0 {
+		res.Phases["O"] = oPhaseEnd - res.Start
+		res.Phases["A"] = res.End - oPhaseEnd
+	}
+	res.Err = jobErr
+	return res
+}
+
+// buildWorld lays out nO O-ranks followed by nA A-ranks, each side spread
+// round-robin across nodes.
+func (e *Engine) buildWorld(nO, nA int) *mpi.World {
+	nodeOf := make([]int, nO+nA)
+	for o := 0; o < nO; o++ {
+		nodeOf[o] = o % e.C.N()
+	}
+	for a := 0; a < nA; a++ {
+		nodeOf[nO+a] = a % e.C.N()
+	}
+	return mpi.NewWorld(e.C, nodeOf)
+}
+
+// assignSplits maps input blocks to O ranks: blocks go to nodes with
+// locality preference and balanced waves, then round-robin over that
+// node's local O ranks.
+func (e *Engine) assignSplits(blocks []*dfs.Block, nO int, w *mpi.World) [][]*dfs.Block {
+	ranksOnNode := make([][]int, e.C.N())
+	for o := 0; o < nO; o++ {
+		n := w.NodeOf(o)
+		ranksOnNode[n] = append(ranksOnNode[n], o)
+	}
+	nodeOf := job.AssignBlocks(blocks, e.C.N())
+	next := make([]int, e.C.N())
+	out := make([][]*dfs.Block, nO)
+	for i, blk := range blocks {
+		node := nodeOf[i]
+		ranks := ranksOnNode[node]
+		if len(ranks) == 0 {
+			// Node hosts no O rank (more nodes than ranks): spill over to
+			// rank i % nO.
+			out[i%nO] = append(out[i%nO], blk)
+			continue
+		}
+		r := ranks[next[node]%len(ranks)]
+		next[node]++
+		out[r] = append(out[r], blk)
+	}
+	return out
+}
+
+// runOTask processes this rank's splits: for each split, the input read,
+// the O-function CPU, and the pipelined partition sends all overlap.
+func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, nA int, splits []*dfs.Block) error {
+	cfg := &e.Cfg
+	scale := e.scale()
+	node := w.NodeOf(rank)
+	mem := e.C.Node(node).Mem
+	p.Sleep(cfg.TaskStart)
+	mem.MustAlloc(cfg.ProcBaseMem)
+	defer mem.Free(cfg.ProcBaseMem)
+
+	mapOnly := nA == 0
+	for _, blk := range splits {
+		recs, inflated, err := job.Records(spec.InputFormat, blk.Data)
+		if err != nil {
+			return fmt.Errorf("datampi: O input: %w", err)
+		}
+		inflatedNominal := float64(inflated) * scale
+		nominalRecords := float64(len(recs)) * scale
+
+		nParts := nA
+		if mapOnly {
+			nParts = 1
+		}
+		// The O side partitions into per-destination send buffers; no
+		// sort is needed before communication (the A side sorts), but a
+		// local combine pass runs if configured.
+		coll := kv.NewPartitionCollector(nParts, 0, spec.Combine, spec.Part)
+		for _, rec := range recs {
+			spec.Map(rec.Key, rec.Value, coll.Emit)
+		}
+		parts, _, _ := coll.Finish()
+		emitScale := spec.EmitScale()
+		emittedNominal := 0.0
+		for _, part := range parts {
+			for _, pr := range part {
+				emittedNominal += float64(pr.Size()+6) * emitScale
+			}
+		}
+
+		// Send buffers hold one pipelining unit per destination.
+		sendBufMem := float64(nParts) * cfg.SendBufferBytes
+		if sendBufMem > 64*cluster.MB*float64(nParts) {
+			sendBufMem = 64 * cluster.MB * float64(nParts)
+		}
+		mem.MustAlloc(sendBufMem)
+
+		cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteO*spec.MapCPUFactor*inflatedNominal +
+			cfg.CPUPerByteEmit*emittedNominal +
+			cfg.CPUPerRecord*nominalRecords)
+
+		var wg sim.WaitGroup
+		if err := e.FS.StartRead(blk, node, &wg); err != nil {
+			mem.Free(sendBufMem)
+			return err
+		}
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+		if cfg.OverheadFactor > 0 {
+			wg.Add(1)
+			e.C.Node(node).CPU.Start(cfg.OverheadFactor*cpuSec, wg.Done)
+		}
+		sendAll := func(sg *sim.WaitGroup) {
+			for a := 0; a < nA; a++ {
+				nominal := 0.0
+				for _, pr := range parts[a] {
+					nominal += float64(pr.Size()+6) * emitScale
+				}
+				sg.Add(1)
+				w.Isend(rank, nO+a, splitTag(blk), nominal, parts[a], sg.Done)
+			}
+		}
+		if !mapOnly && !cfg.DisablePipelining {
+			// Pipelined communication: every partition streams to its A
+			// task concurrently with the computation above. The message
+			// carries the real records.
+			sendAll(&wg)
+		}
+		p.BlockReason = "disk"
+		wg.Wait(p)
+		p.BlockReason = ""
+		if !mapOnly && cfg.DisablePipelining {
+			// Ablation: communication starts only after the task's read
+			// and computation finish, as in Hadoop's shuffle.
+			var sg sim.WaitGroup
+			sendAll(&sg)
+			p.BlockReason = "net-send"
+			sg.Wait(p)
+			p.BlockReason = ""
+		}
+		mem.Free(sendBufMem)
+
+		if mapOnly && spec.Output != "" {
+			enc := job.EncodeTextOutput(parts[0])
+			fw := e.FS.CreateScaled(fmt.Sprintf("%s/part-o-%05d", spec.Output, blk.ID), node, emitScale)
+			if err := fw.Write(p, enc); err != nil {
+				return err
+			}
+			if err := fw.Close(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func splitTag(blk *dfs.Block) int { return int(blk.ID) + 1000 }
+
+// runATask receives one message per input split, buffering the pairs in
+// memory (spilling past the buffer limit), then sorts, groups, reduces
+// and writes its output partition.
+func (e *Engine) runATask(p *sim.Proc, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result) error {
+	cfg := &e.Cfg
+
+	rank := nO + a
+	node := w.NodeOf(rank)
+	mem := e.C.Node(node).Mem
+	p.Sleep(cfg.TaskStart)
+	mem.MustAlloc(cfg.ProcBaseMem)
+	defer mem.Free(cfg.ProcBaseMem)
+
+	var runs [][]kv.Pair
+	bufferedNominal, bufferedMem, spilledNominal := 0.0, 0.0, 0.0
+	var checkpointNominal float64
+	for i := 0; i < totalSplits; i++ {
+		m := w.Recv(p, rank, mpi.AnySource, -1)
+		pairs := m.Payload.([]kv.Pair)
+		if len(pairs) > 0 {
+			runs = append(runs, pairs)
+		}
+		res.AddCounter("pipelined_bytes_nominal", int64(m.Nominal))
+		bufferedNominal += m.Nominal
+		bufferedMem += m.Nominal
+		checkpointNominal += m.Nominal
+		mem.MustAlloc(m.Nominal)
+		if cfg.ABufferBytes > 0 && bufferedNominal > cfg.ABufferBytes {
+			// Buffer overflow: spill the in-memory intermediate data.
+			e.C.Node(node).Disk.Use(p, bufferedNominal, "shuffle-io")
+			if e.Prof != nil {
+				e.Prof.AddDiskWrite(node, bufferedNominal)
+			}
+			res.AddCounter("a_spill_bytes_nominal", int64(bufferedNominal))
+			spilledNominal += bufferedNominal
+			bufferedNominal = 0
+			mem.Free(bufferedMem)
+			bufferedMem = 0
+		}
+	}
+
+	// Key-value checkpoint: the intermediate data is durably written to
+	// the DFS so a failed A task can restart without rerunning O tasks.
+	if cfg.Checkpoint && checkpointNominal > 0 && spec.Output != "" {
+		ckActual := int(checkpointNominal / spec.EmitScale())
+		cw := e.FS.CreateScaled(fmt.Sprintf("%s/_checkpoint/a-%05d", spec.Output, a), node, spec.EmitScale())
+		if err := cw.Write(p, make([]byte, ckActual)); err != nil {
+			return err
+		}
+		if err := cw.Close(p); err != nil {
+			return err
+		}
+	}
+
+	if cfg.FailATask == a {
+		// Injected failure: the task dies after receiving its data. The
+		// runtime detects it and respawns the task, which recovers the
+		// intermediate data from the checkpoint (or, without
+		// checkpointing, the job fails).
+		e.Cfg.FailATask = -1
+		if !cfg.Checkpoint {
+			mem.Free(bufferedMem)
+			return fmt.Errorf("datampi: A task %d failed with no checkpoint", a)
+		}
+		p.Sleep(cfg.RestartDelay)
+		mem.Free(bufferedMem)
+		bufferedMem = 0
+		// Restart: read the checkpoint back from the DFS.
+		ck, err := e.FS.Open(fmt.Sprintf("%s/_checkpoint/a-%05d", spec.Output, a))
+		if err != nil {
+			return fmt.Errorf("datampi: restart: %w", err)
+		}
+		for _, blk := range ck.Blocks {
+			if _, err := e.FS.ReadBlock(p, blk, node); err != nil {
+				return err
+			}
+		}
+		mem.MustAlloc(checkpointNominal)
+		bufferedMem = checkpointNominal
+		bufferedNominal = checkpointNominal
+		spilledNominal = 0
+	}
+
+	defer func() { mem.Free(bufferedMem) }()
+
+	totalNominal := bufferedNominal + spilledNominal
+	var wg sim.WaitGroup
+	if spilledNominal > 0 {
+		wg.Add(1)
+		e.C.Node(node).Disk.Start(spilledNominal, wg.Done)
+		if e.Prof != nil {
+			e.Prof.AddDiskRead(node, spilledNominal)
+		}
+	}
+	// Sort + merge + reduce CPU. The A side performs the only sort in the
+	// pipeline (the O side does not pre-sort).
+	var all []kv.Pair
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	kv.SortPairs(all)
+	nominalRecords := float64(len(all)) * spec.EmitScale()
+	cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteA*spec.ReduceCPUFactor*totalNominal +
+		cfg.CPUPerByteSort*totalNominal +
+		cfg.CPUPerRecord*nominalRecords)
+	wg.Add(1)
+	e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+	if cfg.OverheadFactor > 0 {
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(cfg.OverheadFactor*cpuSec, wg.Done)
+	}
+	p.BlockReason = "disk"
+	wg.Wait(p)
+	p.BlockReason = ""
+
+	reduced := kv.GroupReduce(all, spec.Reduce)
+	res.OutRecords += int64(len(reduced))
+	if spec.Output != "" {
+		enc := job.EncodeTextOutput(reduced)
+		fw := e.FS.CreateScaled(fmt.Sprintf("%s/part-a-%05d", spec.Output, a), node, spec.EmitScale())
+		if err := fw.Write(p, enc); err != nil {
+			return err
+		}
+		if err := fw.Close(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachProfiler wires a resource profiler into the engine.
+func (e *Engine) AttachProfiler(p *metrics.Profiler) { e.Prof = p }

@@ -1,0 +1,144 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// FsckReport summarizes filesystem replica health, like `hdfs fsck`.
+type FsckReport struct {
+	Files              int
+	Blocks             int
+	UnderReplicated    int // blocks with fewer live replicas than configured
+	Missing            int // blocks with zero live replicas
+	LiveReplicaexcess  int // blocks above the replication factor
+	TotalNominalStored float64
+}
+
+func (r FsckReport) String() string {
+	return fmt.Sprintf("fsck: %d files, %d blocks, %d under-replicated, %d missing",
+		r.Files, r.Blocks, r.UnderReplicated, r.Missing)
+}
+
+// Fsck scans all block metadata and reports replica health with respect
+// to live datanodes.
+func (fs *FS) Fsck() FsckReport {
+	var rep FsckReport
+	for _, name := range fs.List() {
+		f := fs.files[name]
+		rep.Files++
+		for _, b := range f.Blocks {
+			rep.Blocks++
+			live := 0
+			for _, loc := range b.Locations {
+				if !fs.dead[loc] {
+					live++
+				}
+			}
+			switch {
+			case live == 0:
+				rep.Missing++
+			case live < fs.cfg.Replication:
+				rep.UnderReplicated++
+			case live > fs.cfg.Replication:
+				rep.LiveReplicaexcess++
+			}
+			rep.TotalNominalStored += b.Nominal * float64(live)
+		}
+	}
+	return rep
+}
+
+// Rereplicate restores the replication factor of every under-replicated
+// block by copying from a live replica to a new node, charging the
+// simulated disk and network like the NameNode's replication monitor.
+// It returns the number of new replicas created. Blocks with no live
+// replica are reported in the error (data loss).
+func (fs *FS) Rereplicate(p *sim.Proc) (created int, err error) {
+	var lost []int64
+	// Deterministic order.
+	names := fs.List()
+	for _, name := range names {
+		f := fs.files[name]
+		for _, b := range f.Blocks {
+			var live []int
+			deadSet := map[int]bool{}
+			for _, loc := range b.Locations {
+				if fs.dead[loc] {
+					deadSet[loc] = true
+				} else {
+					live = append(live, loc)
+				}
+			}
+			if len(live) == 0 {
+				lost = append(lost, b.ID)
+				continue
+			}
+			for len(live) < fs.cfg.Replication {
+				target := fs.pickNewReplica(b, live)
+				if target < 0 {
+					break // not enough live nodes
+				}
+				src := live[created%len(live)]
+				// Copy: read at source, transfer, write at target.
+				var wg sim.WaitGroup
+				wg.Add(2)
+				fs.c.Node(src).Disk.Start(b.Nominal, wg.Done)
+				fs.c.Node(target).Disk.Start(b.Nominal, wg.Done)
+				if src != target {
+					wg.Add(1)
+					fs.c.Net.StartFlow(src, target, b.Nominal, wg.Done)
+				}
+				if fs.prof != nil {
+					fs.prof.AddDiskRead(src, b.Nominal)
+					fs.prof.AddDiskWrite(target, b.Nominal)
+				}
+				p.BlockReason = "disk"
+				wg.Wait(p)
+				p.BlockReason = ""
+				live = append(live, target)
+				fs.diskUse[target] += b.Nominal
+				created++
+				// Metadata: replace one dead location or append.
+				replaced := false
+				for i, loc := range b.Locations {
+					if deadSet[loc] {
+						b.Locations[i] = target
+						delete(deadSet, loc)
+						replaced = true
+						break
+					}
+				}
+				if !replaced {
+					b.Locations = append(b.Locations, target)
+				}
+			}
+		}
+	}
+	if len(lost) > 0 {
+		sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+		return created, fmt.Errorf("dfs: %d block(s) lost all replicas (first: %d)", len(lost), lost[0])
+	}
+	return created, nil
+}
+
+// pickNewReplica chooses a live node that does not already hold b,
+// preferring the emptiest disk (the balancer heuristic).
+func (fs *FS) pickNewReplica(b *Block, live []int) int {
+	holds := map[int]bool{}
+	for _, loc := range live {
+		holds[loc] = true
+	}
+	best := -1
+	for n := 0; n < fs.c.N(); n++ {
+		if fs.dead[n] || holds[n] {
+			continue
+		}
+		if best < 0 || fs.diskUse[n] < fs.diskUse[best] {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/bdb"
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/core"
+	"github.com/datampi/datampi-go/internal/dfs"
+)
+
+// TestDebugTextSortTimeline is a diagnostic for calibration work: it runs
+// the 8GB Text Sort and prints the phase timeline.
+func TestDebugTextSortTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	c := cluster.New(cluster.DefaultHardware())
+	fs := dfs.New(c, dfs.Config{BlockSize: 256 * cluster.MB, Replication: 3, Scale: 8192, Seed: 1, PerBlockOverhead: 0.35})
+	eng := core.New(fs, core.DefaultConfig())
+	in := bdb.GenerateTextFile(fs, "/in", bdb.LDAWiki1W(), 1, 8*cluster.GB)
+	fmt.Printf("blocks=%d nominal=%.1fGB actual-bytes=%d\n", len(in.Blocks), in.Nominal/cluster.GB, func() int {
+		n := 0
+		for _, b := range in.Blocks {
+			n += len(b.Data)
+		}
+		return n
+	}())
+	spec := bdb.TextSortSpec(fs, in, "/out", 32)
+	res := eng.Run(spec)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	fmt.Printf("elapsed=%.1f phases=%v\n", res.Elapsed, res.Phases)
+	// Partition balance check.
+	sizes := map[int]int{}
+	outs := fs.ListPrefix("/out/part-a-")
+	for i, f := range outs {
+		sizes[i] = int(f.Nominal)
+	}
+	min, max := 1<<62, 0
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	fmt.Printf("parts=%d minPart=%.1fMB maxPart=%.1fMB\n", len(outs), float64(min)/cluster.MB, float64(max)/cluster.MB)
+}

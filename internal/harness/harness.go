@@ -1,0 +1,243 @@
+// Package harness defines one experiment per table and figure of the
+// paper's evaluation (Section 4) and regenerates the corresponding rows
+// and series on the simulated testbed. Each experiment builds fresh,
+// isolated rigs (cluster + DFS + engine) per measurement, exactly as the
+// paper benchmarks each system separately on the same hardware.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/core"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/mr"
+	"github.com/datampi/datampi-go/internal/rdd"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Scale is the data-scaling divisor: nominal bytes per actual byte.
+	// Larger is faster but coarser. Zero selects each experiment's
+	// default.
+	Scale float64
+	// Quick trims sweeps to fewer points for fast CI runs.
+	Quick bool
+	// Seed varies the generated data.
+	Seed int64
+}
+
+func (o Options) scaleOr(def float64) float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return def
+}
+
+func (o Options) seedOr(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+// Report is an experiment's regenerated table/figure data.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Series carries resource-utilization time series for the Figure 4
+	// experiments, keyed by "<framework>/<metric>".
+	Series map[string]metrics.Series
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(r.Columns)
+	for i := range r.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		if i < len(r.Columns)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the rows as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Framework identifies one of the three systems under test.
+type Framework int
+
+const (
+	Hadoop Framework = iota
+	Spark
+	DataMPI
+)
+
+func (f Framework) String() string {
+	switch f {
+	case Hadoop:
+		return "Hadoop"
+	case Spark:
+		return "Spark"
+	default:
+		return "DataMPI"
+	}
+}
+
+// Rig is one isolated measurement setup: a fresh simulated cluster, DFS
+// and engine for a single framework.
+type Rig struct {
+	FW           Framework
+	Cluster      *cluster.Cluster
+	FS           *dfs.FS
+	Engine       job.Engine
+	Prof         *metrics.Profiler
+	TasksPerNode int // normalized concurrent tasks per node
+
+	MR  *mr.Engine
+	RDD *rdd.Engine
+	DM  *core.Engine
+}
+
+// RigConfig controls rig construction.
+type RigConfig struct {
+	Scale        float64
+	BlockSize    float64 // nominal; default 256 MB (the paper's tuned value)
+	TasksPerNode int     // default 4 (the paper's tuned value)
+	Profile      bool    // attach a resource profiler
+	ProfInterval float64
+	Seed         int64
+}
+
+// NewRig builds a rig for one framework.
+func NewRig(fw Framework, rc RigConfig) *Rig {
+	if rc.BlockSize <= 0 {
+		rc.BlockSize = 256 * cluster.MB
+	}
+	if rc.TasksPerNode <= 0 {
+		rc.TasksPerNode = 4
+	}
+	if rc.Scale <= 0 {
+		rc.Scale = 1
+	}
+	if rc.ProfInterval <= 0 {
+		rc.ProfInterval = 1.0
+	}
+	c := cluster.New(cluster.DefaultHardware())
+	fsys := dfs.New(c, dfs.Config{
+		BlockSize:        rc.BlockSize,
+		Replication:      3,
+		Scale:            rc.Scale,
+		Seed:             rc.Seed + 100,
+		PerBlockOverhead: dfs.DefaultConfig().PerBlockOverhead,
+	})
+	r := &Rig{FW: fw, Cluster: c, FS: fsys, TasksPerNode: rc.TasksPerNode}
+	if rc.Profile {
+		r.Prof = metrics.NewProfiler(c, rc.ProfInterval)
+		fsys.SetProfiler(r.Prof)
+	}
+	switch fw {
+	case Hadoop:
+		cfg := mr.DefaultConfig()
+		cfg.TasksPerNode = rc.TasksPerNode
+		e := mr.New(fsys, cfg)
+		e.Prof = r.Prof
+		r.MR = e
+		r.Engine = e
+	case Spark:
+		cfg := rdd.DefaultConfig()
+		cfg.WorkersPerNode = rc.TasksPerNode
+		e := rdd.New(fsys, cfg)
+		e.Prof = r.Prof
+		r.RDD = e
+		r.Engine = e
+	case DataMPI:
+		cfg := core.DefaultConfig()
+		cfg.TasksPerNode = rc.TasksPerNode
+		e := core.New(fsys, cfg)
+		e.Prof = r.Prof
+		r.DM = e
+		r.Engine = e
+	}
+	return r
+}
+
+// fmtSecs renders seconds for table cells.
+func fmtSecs(s float64) string { return fmt.Sprintf("%.0f", s) }
+
+// fmtPct renders a ratio as a percentage string.
+func fmtPct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }

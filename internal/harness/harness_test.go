@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// expected experiment ids: one per paper table/figure.
+var wantIDs = []string{
+	"fig2a", "fig2b", "fig3a", "fig3b", "fig3c", "fig3d",
+	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
+	"table1", "table2",
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range wantIDs {
+		if !have[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if len(have) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(have), len(wantIDs))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig3b"); !ok {
+		t.Fatal("fig3b not found")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		exp, _ := Lookup(id)
+		rep, err := exp.Run(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := rep.Render()
+		if !strings.Contains(out, rep.Title) {
+			t.Fatalf("%s render missing title:\n%s", id, out)
+		}
+		csv := rep.CSV()
+		if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(rep.Rows)+1 {
+			t.Fatalf("%s CSV row count wrong", id)
+		}
+	}
+}
+
+// TestFig5SmallJobsShape runs the cheapest timing experiment end-to-end
+// and asserts the paper's qualitative result: DataMPI ≈ Spark ≪ Hadoop.
+func TestFig5SmallJobsShape(t *testing.T) {
+	exp, _ := Lookup("fig5")
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		h, s, d := atof(row[1]), atof(row[2]), atof(row[3])
+		if !(d < h && s < h) {
+			t.Fatalf("small job %s: Hadoop should be slowest: %v", row[0], row)
+		}
+		if d > 2.5*s {
+			t.Fatalf("small job %s: DataMPI (%v) should be comparable to Spark (%v)", row[0], d, s)
+		}
+	}
+}
+
+// TestFig3bShape asserts the headline micro-benchmark shape at 8 GB:
+// DataMPI < Spark ≈ Hadoop·0.8 < Hadoop, and Spark OOM at 64 GB.
+func TestFig3bShape(t *testing.T) {
+	exp, _ := Lookup("fig3b")
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Rows[0] // 8 GB
+	h, s, d := atof(first[1]), atof(first[2]), atof(first[3])
+	if d <= 0 || h <= 0 || s <= 0 {
+		t.Fatalf("missing values in %v", first)
+	}
+	if !(d < s && s < h) {
+		t.Fatalf("8GB ordering wrong: H=%v S=%v D=%v", h, s, d)
+	}
+	gain := 1 - d/h
+	if gain < 0.25 || gain > 0.70 {
+		t.Fatalf("DataMPI gain over Hadoop %.0f%%, want within the paper's band neighbourhood", gain*100)
+	}
+	last := rep.Rows[len(rep.Rows)-1] // 64 GB
+	if last[2] != "OOM" {
+		t.Fatalf("Spark should OOM at 64GB: %v", last)
+	}
+}
+
+func atof(s string) float64 {
+	var v float64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			if c == '.' {
+				continue
+			}
+			return v
+		}
+		v = v*10 + float64(c-'0')
+	}
+	return v
+}
+
+func TestReportRenderAlignment(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "t",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "note: hello") {
+		t.Fatalf("notes missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}

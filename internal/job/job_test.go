@@ -1,0 +1,213 @@
+package job
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/kv"
+)
+
+func TestRecordsText(t *testing.T) {
+	recs, inflated, err := Records(Text, []byte("alpha\nbeta\ngamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[1].Value) != "beta" {
+		t.Fatalf("records = %v", recs)
+	}
+	if inflated != len("alpha\nbeta\ngamma") {
+		t.Fatalf("inflated = %d", inflated)
+	}
+}
+
+func TestRecordsSeq(t *testing.T) {
+	pairs := []kv.Pair{{Key: []byte("k1"), Value: []byte("v1")}, {Key: []byte("k2"), Value: []byte("v2")}}
+	recs, _, err := Records(Seq, kv.EncodeAll(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Key) != "k1" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestRecordsSeqGzip(t *testing.T) {
+	pairs := []kv.Pair{{Key: []byte("hello"), Value: []byte("world")}}
+	raw := kv.EncodeAll(pairs)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw)
+	zw.Close()
+	recs, inflated, err := Records(SeqGzip, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Value) != "world" {
+		t.Fatalf("records = %v", recs)
+	}
+	if inflated != len(raw) {
+		t.Fatalf("inflated = %d, want %d", inflated, len(raw))
+	}
+}
+
+func TestRecordsBadGzip(t *testing.T) {
+	if _, _, err := Records(SeqGzip, []byte("not gzip")); err == nil {
+		t.Fatal("expected error for invalid gzip data")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := Spec{}
+	s.Normalize()
+	if s.Reducers != 1 || s.Part == nil || s.Reduce == nil {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.MapCPUFactor != 1 || s.ReduceCPUFactor != 1 {
+		t.Fatal("cpu factors not defaulted")
+	}
+	if s.SaturatingIntermediate {
+		t.Fatal("no combiner should mean non-saturating")
+	}
+	s2 := Spec{Combine: kv.SumCombiner}
+	s2.Normalize()
+	if !s2.SaturatingIntermediate {
+		t.Fatal("combiner should imply saturating intermediates")
+	}
+}
+
+func TestCPUAdjust(t *testing.T) {
+	s := Spec{EngineCPUFactor: map[string]float64{"DataMPI": 1.3}}
+	if got := s.CPUAdjust("DataMPI"); got != 1.3 {
+		t.Fatalf("CPUAdjust(DataMPI) = %v", got)
+	}
+	if got := s.CPUAdjust("Hadoop"); got != 1 {
+		t.Fatalf("CPUAdjust(Hadoop) = %v", got)
+	}
+}
+
+func TestEmitScale(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	fs := dfs.New(c, dfs.Config{BlockSize: cluster.MB, Replication: 3, Scale: 64, Seed: 1})
+	linear := Spec{FS: fs}
+	if got := linear.EmitScale(); got != 64 {
+		t.Fatalf("linear EmitScale = %v, want 64", got)
+	}
+	sat := Spec{FS: fs, SaturatingIntermediate: true}
+	if got := sat.EmitScale(); got != 1 {
+		t.Fatalf("saturating EmitScale = %v, want 1", got)
+	}
+}
+
+func TestAssignBlocksBalancedAndLocal(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	fs := dfs.New(c, dfs.Config{BlockSize: 1024, Replication: 3, Scale: 1, Seed: 5})
+	f := fs.Preload("/f", make([]byte, 32*1024)) // 32 blocks over 8 nodes
+	assign := AssignBlocks(f.Blocks, c.N())
+	load := make([]int, c.N())
+	local := 0
+	for i, n := range assign {
+		load[n]++
+		for _, loc := range f.Blocks[i].Locations {
+			if loc == n {
+				local++
+				break
+			}
+		}
+	}
+	for n, l := range load {
+		if l != 4 {
+			t.Fatalf("node %d has %d blocks, want 4 (balanced): %v", n, l, load)
+		}
+	}
+	if local < len(assign)*3/4 {
+		t.Fatalf("only %d/%d assignments local", local, len(assign))
+	}
+}
+
+func TestAssignBlocksProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}
+	prop := func(seed int64, nBlocks uint8) bool {
+		c := cluster.New(cluster.DefaultHardware())
+		fs := dfs.New(c, dfs.Config{BlockSize: 256, Replication: 3, Scale: 1, Seed: seed})
+		n := int(nBlocks)%100 + 1
+		f := fs.Preload("/f", make([]byte, 256*n))
+		assign := AssignBlocks(f.Blocks, c.N())
+		load := make([]int, c.N())
+		for _, a := range assign {
+			if a < 0 || a >= c.N() {
+				return false
+			}
+			load[a]++
+		}
+		capLimit := (len(f.Blocks) + c.N() - 1) / c.N()
+		for _, l := range load {
+			if l > capLimit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSequentialMatchesByHand(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	fs := dfs.New(c, dfs.Config{BlockSize: 64, Replication: 3, Scale: 1, Seed: 1})
+	in := fs.PreloadAligned("/in", []byte("a b a\nb b c\n"), '\n')
+	spec := Spec{
+		FS: fs, Input: in, InputFormat: Text, Reducers: 2,
+		Map: func(key, value []byte, emit Emit) {
+			for _, w := range bytes.Fields(value) {
+				emit(w, []byte("1"))
+			}
+		},
+		Reduce: func(key []byte, values [][]byte) []kv.Pair {
+			var n int64
+			for _, v := range values {
+				n += kv.ParseInt(v)
+			}
+			return []kv.Pair{{Key: key, Value: kv.FormatInt(n)}}
+		},
+	}
+	out, err := RunSequential(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, p := range out {
+		got[string(p.Key)] = string(p.Value)
+	}
+	want := map[string]string{"a": "2", "b": "3", "c": "1"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("got[%s]=%s want %s (%v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestEncodeTextOutputAndReadBack(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	fs := dfs.New(c, dfs.Config{BlockSize: 32, Replication: 3, Scale: 1, Seed: 1})
+	pairs := []kv.Pair{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: []byte("justkey")},
+	}
+	fs.Preload("/out/part-0", EncodeTextOutput(pairs))
+	back := ReadTextOutput(fs, "/out/")
+	if len(back) != 2 {
+		t.Fatalf("read %d pairs", len(back))
+	}
+	if string(back[0].Key) != "k1" || string(back[0].Value) != "v1" {
+		t.Fatalf("pair 0 = %v", back[0])
+	}
+	if string(back[1].Key) != "justkey" || len(back[1].Value) != 0 {
+		t.Fatalf("pair 1 = %v", back[1])
+	}
+}

@@ -1,0 +1,286 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("hello"), Value: []byte("world")},
+		{Key: []byte(""), Value: []byte("empty key")},
+		{Key: []byte("k"), Value: []byte("")},
+		{Key: []byte{0, 1, 2, 255}, Value: []byte{128, 0}},
+	}
+	buf := EncodeAll(pairs)
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if !bytes.Equal(got[i].Key, pairs[i].Key) || !bytes.Equal(got[i].Value, pairs[i].Value) {
+			t.Fatalf("pair %d: got %v want %v", i, got[i], pairs[i])
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf := EncodeAll([]Pair{{Key: []byte("abcdef"), Value: []byte("123456")}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := DecodeAll(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	prop := func(key, value []byte) bool {
+		buf := Encode(nil, Pair{Key: key, Value: value})
+		p, rest, err := Decode(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return bytes.Equal(p.Key, key) && bytes.Equal(p.Value, value)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionerRangeAndDeterminism(t *testing.T) {
+	part := HashPartitioner{}
+	prop := func(key []byte, n uint8) bool {
+		parts := int(n)%32 + 1
+		p1 := part.Partition(key, parts)
+		p2 := part.Partition(key, parts)
+		return p1 == p2 && p1 >= 0 && p1 < parts
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionerSpreads(t *testing.T) {
+	part := HashPartitioner{}
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[part.Partition([]byte(fmt.Sprintf("key-%d", i)), 8)]++
+	}
+	for p, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("partition %d got %d of 8000 keys; poor spread %v", p, c, counts)
+		}
+	}
+}
+
+func TestRangePartitionerPreservesOrder(t *testing.T) {
+	rp := &RangePartitioner{Boundaries: [][]byte{[]byte("g"), []byte("p")}}
+	cases := map[string]int{"a": 0, "f": 0, "g": 1, "o": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := rp.Partition([]byte(k), 3); got != want {
+			t.Fatalf("Partition(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSampleBoundaries(t *testing.T) {
+	var sample [][]byte
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, []byte(fmt.Sprintf("%05d", rng.Intn(100000))))
+	}
+	bounds := SampleBoundaries(sample, 4)
+	if len(bounds) != 3 {
+		t.Fatalf("got %d boundaries, want 3", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bytes.Compare(bounds[i-1], bounds[i]) > 0 {
+			t.Fatal("boundaries not sorted")
+		}
+	}
+	// Partitioning the sample with these boundaries yields balanced parts.
+	rp := &RangePartitioner{Boundaries: bounds}
+	counts := make([]int, 4)
+	for _, k := range sample {
+		counts[rp.Partition(k, 4)]++
+	}
+	for p, c := range counts {
+		if c < 100 || c > 500 {
+			t.Fatalf("partition %d has %d of 1000 records: %v", p, c, counts)
+		}
+	}
+}
+
+func TestSortPairsAndIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ps []Pair
+	for i := 0; i < 500; i++ {
+		ps = append(ps, Pair{Key: []byte(fmt.Sprintf("%04d", rng.Intn(1000))), Value: []byte("v")})
+	}
+	if IsSorted(ps) {
+		t.Fatal("random input unexpectedly sorted")
+	}
+	SortPairs(ps)
+	if !IsSorted(ps) {
+		t.Fatal("SortPairs did not sort")
+	}
+}
+
+func TestGroupReduceSums(t *testing.T) {
+	input := []Pair{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("5")},
+	}
+	out := GroupReduce(input, func(key []byte, values [][]byte) []Pair {
+		var sum int64
+		for _, v := range values {
+			sum += ParseInt(v)
+		}
+		return []Pair{{Key: key, Value: FormatInt(sum)}}
+	})
+	if len(out) != 2 {
+		t.Fatalf("got %d groups, want 2", len(out))
+	}
+	if string(out[0].Key) != "a" || string(out[0].Value) != "3" {
+		t.Fatalf("group a = %v", out[0])
+	}
+	if string(out[1].Key) != "b" || string(out[1].Value) != "5" {
+		t.Fatalf("group b = %v", out[1])
+	}
+}
+
+func TestFormatParseIntRoundTrip(t *testing.T) {
+	prop := func(n int64) bool { return ParseInt(FormatInt(n)) == n }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if ParseInt([]byte("0")) != 0 || string(FormatInt(0)) != "0" {
+		t.Fatal("zero mishandled")
+	}
+}
+
+func TestSorterNoSpill(t *testing.T) {
+	s := &Sorter{BufferBytes: 0}
+	rng := rand.New(rand.NewSource(3))
+	var want []Pair
+	for i := 0; i < 200; i++ {
+		p := Pair{Key: []byte(fmt.Sprintf("%05d", rng.Intn(10000))), Value: []byte{byte(i)}}
+		want = append(want, p)
+		s.Add(p)
+	}
+	out, mergeBytes := s.Finish()
+	if s.Spills() != 0 {
+		t.Fatalf("spilled %d times with unbounded buffer", s.Spills())
+	}
+	if mergeBytes != 0 {
+		t.Fatalf("mergeBytes = %d, want 0", mergeBytes)
+	}
+	if len(out) != len(want) || !IsSorted(out) {
+		t.Fatal("output not a sorted permutation of input")
+	}
+}
+
+func TestSorterSpillsAndMerges(t *testing.T) {
+	spilled := 0
+	s := &Sorter{
+		BufferBytes: 256,
+		OnSpill:     func(b int) { spilled += b },
+	}
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	keys := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%06d", rng.Intn(1000000))
+		keys[k] = true
+		s.Add(Pair{Key: []byte(k), Value: []byte("v")})
+	}
+	out, mergeBytes := s.Finish()
+	if s.Spills() == 0 {
+		t.Fatal("expected spills with 256-byte buffer")
+	}
+	if spilled == 0 || mergeBytes == 0 {
+		t.Fatalf("spill hooks: spilled=%d mergeBytes=%d", spilled, mergeBytes)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d records, want %d", len(out), n)
+	}
+	if !IsSorted(out) {
+		t.Fatal("merged output not sorted")
+	}
+	for _, p := range out {
+		if !keys[string(p.Key)] {
+			t.Fatalf("unexpected key %q in output", p.Key)
+		}
+	}
+}
+
+func TestSorterWithCombiner(t *testing.T) {
+	s := &Sorter{BufferBytes: 128, Combine: SumCombiner}
+	words := []string{"the", "quick", "the", "fox", "the", "quick"}
+	for i := 0; i < 100; i++ {
+		for _, w := range words {
+			s.Add(Pair{Key: []byte(w), Value: []byte("1")})
+		}
+	}
+	out, _ := s.Finish()
+	counts := map[string]int64{}
+	for _, p := range out {
+		counts[string(p.Key)] += ParseInt(p.Value)
+	}
+	if counts["the"] != 300 || counts["quick"] != 200 || counts["fox"] != 100 {
+		t.Fatalf("combined counts wrong: %v", counts)
+	}
+	// The combiner must have shrunk the stream: at most a few entries per
+	// key (one per spill run in the worst case).
+	if len(out) > 3*s.Spills()+3 {
+		t.Fatalf("combiner ineffective: %d output records from %d spills", len(out), s.Spills())
+	}
+}
+
+func TestMergeRunsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nruns := 1 + rng.Intn(6)
+		var runs [][]Pair
+		total := 0
+		for r := 0; r < nruns; r++ {
+			n := rng.Intn(50)
+			var run []Pair
+			for i := 0; i < n; i++ {
+				run = append(run, Pair{Key: []byte(fmt.Sprintf("%04d", rng.Intn(500))), Value: []byte{byte(r)}})
+			}
+			SortPairs(run)
+			runs = append(runs, run)
+			total += n
+		}
+		merged := MergeRuns(runs)
+		return len(merged) == total && IsSorted(merged)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineSortedIdentityWithoutCombiner(t *testing.T) {
+	in := []Pair{{Key: []byte("a"), Value: []byte("1")}}
+	out := CombineSorted(in, nil)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("nil combiner should be identity")
+	}
+}
+
+func TestSumCombiner(t *testing.T) {
+	got := SumCombiner([]byte("k"), [][]byte{[]byte("3"), []byte("4"), []byte("-2")})
+	if len(got) != 1 || string(got[0]) != "5" {
+		t.Fatalf("SumCombiner = %v", got)
+	}
+}

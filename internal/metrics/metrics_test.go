@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+func TestProfilerSamplesCPUAndStops(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	pr := NewProfiler(c, 0.5)
+	pr.Start()
+	c.Eng.Go("worker", func(p *sim.Proc) {
+		c.Node(0).CPU.Use(p, 4, "cpu") // 4 core-seconds at 1 core = 4s
+		pr.Stop()
+	})
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := pr.Series()
+	if len(s.Samples) < 4 {
+		t.Fatalf("only %d samples", len(s.Samples))
+	}
+	w := s.Aggregate(0)
+	// One core busy on one of 8 nodes with 8 cores each: 12.5%/8 ≈ 1.6%.
+	if w.AvgCPUPct <= 0 || w.AvgCPUPct > 5 {
+		t.Fatalf("avg cpu = %v", w.AvgCPUPct)
+	}
+}
+
+func TestProfilerDiskAttribution(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	pr := NewProfiler(c, 0.5)
+	pr.Start()
+	c.Eng.Go("io", func(p *sim.Proc) {
+		pr.AddDiskRead(0, 100*cluster.MB)
+		pr.AddDiskWrite(1, 50*cluster.MB)
+		p.Sleep(1)
+		pr.Stop()
+	})
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w := pr.Series().Aggregate(0)
+	if w.AvgDiskRead <= 0 || w.AvgDiskWrit <= 0 {
+		t.Fatalf("disk attribution missing: %+v", w)
+	}
+}
+
+func TestAggregateWindowCutoff(t *testing.T) {
+	s := Series{Interval: 1, Samples: []Sample{
+		{T: 1, CPUPct: 100},
+		{T: 2, CPUPct: 100},
+		{T: 3, CPUPct: 0},
+		{T: 4, CPUPct: 0},
+	}}
+	full := s.Aggregate(0)
+	if full.AvgCPUPct != 50 {
+		t.Fatalf("full avg = %v", full.AvgCPUPct)
+	}
+	early := s.Aggregate(2)
+	if early.AvgCPUPct != 100 {
+		t.Fatalf("windowed avg = %v", early.AvgCPUPct)
+	}
+}
+
+func TestWaitIOHook(t *testing.T) {
+	c := cluster.New(cluster.DefaultHardware())
+	pr := NewProfiler(c, 0.5)
+	pr.WaitIOFunc = func(node int) int {
+		if node == 0 {
+			return 4
+		}
+		return 0
+	}
+	pr.Start()
+	c.Eng.Go("idle", func(p *sim.Proc) {
+		p.Sleep(2)
+		pr.Stop()
+	})
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w := pr.Series().Aggregate(0)
+	if w.AvgWaitIO <= 0 {
+		t.Fatal("wait-IO hook ignored")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := Series{Interval: 1}
+	for i := 0; i < 20; i++ {
+		s.Samples = append(s.Samples, Sample{T: float64(i), CPUPct: float64(i * 5)})
+	}
+	out := s.RenderASCII("cpu", 40, 8)
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "*") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if empty := (Series{}).RenderASCII("cpu", 10, 4); !strings.Contains(empty, "no samples") {
+		t.Fatal("empty series should say no samples")
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	w := Window{AvgCPUPct: 50, AvgNet: 10 * cluster.MB, AvgMem: 2 * cluster.GB}
+	str := w.String()
+	if !strings.Contains(str, "cpu=50%") || !strings.Contains(str, "mem=2.0GB") {
+		t.Fatalf("window string = %q", str)
+	}
+}

@@ -1,0 +1,496 @@
+// Package mr implements the Hadoop 1.x MapReduce baseline: a JobTracker /
+// TaskTracker execution model with per-node map and reduce slots, per-task
+// JVM launch overheads, a sort-and-spill map output buffer (io.sort.mb),
+// slow-start shuffle fetching that begins only after a fraction of maps
+// complete, reduce-side merge with disk spills, and replicated HDFS output.
+//
+// The engine really executes the job's map, combine and reduce functions
+// over real bytes; simulated time is charged according to the cost profile
+// in Config. The structural costs — disk-materialized map output, fetch
+// after map completion (no pipelining within a task), JVM startup per task,
+// JVM per-byte processing overhead — are exactly the inefficiencies the
+// paper attributes Hadoop's slowness to (Sections 4.3-4.4).
+package mr
+
+import (
+	"fmt"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// Config is the Hadoop cost/configuration profile. Defaults follow the
+// paper's setup (Hadoop 1.2.1, 4 concurrent tasks per node) with timing
+// constants calibrated once against the paper's Section 4 measurements;
+// see EXPERIMENTS.md.
+type Config struct {
+	TasksPerNode int // map slots per node; also reduce slots per node
+
+	JobInit    float64 // job submission, staging, JobTracker init (s)
+	TaskLaunch float64 // JVM spawn + heartbeat assignment per task (s)
+	JobCommit  float64 // output commit + job cleanup (s)
+
+	SortBufferBytes   float64 // io.sort.mb map output buffer (nominal bytes)
+	ReduceBufferBytes float64 // reduce-side in-memory shuffle buffer
+
+	CPUPerByteMap    float64 // core-sec per nominal input byte in map
+	CPUPerByteReduce float64 // core-sec per nominal shuffled byte in reduce
+	CPUPerByteSort   float64 // core-sec per nominal byte sorted/merged
+	CPUPerRecord     float64 // core-sec per nominal record (both sides)
+	GCFactor         float64 // background JVM overhead per task core-sec
+	// MemPressureGC adds GC storm overhead when node memory utilization
+	// exceeds 60%: extra background CPU per task core-second, scaled by
+	// how deep into the red zone the node is. This is what makes 6 tasks
+	// per node slower than 4 on 16 GB nodes (Figure 2(b)).
+	MemPressureGC float64
+
+	SlowstartFraction float64 // reducers launch after this fraction of maps
+
+	JVMBaseMem     float64 // resident heap per running task
+	GarbageFactor  float64 // extra heap per nominal byte processed (capped)
+	GarbageCap     float64 // cap on garbage heap per task
+	HeapLingerSecs float64 // lazy GC: heap freed this long after task exit
+	DaemonMem      float64 // TaskTracker + DataNode residency per node
+
+	OutputReplication int
+}
+
+// DefaultConfig returns the calibrated Hadoop profile.
+func DefaultConfig() Config {
+	return Config{
+		TasksPerNode:      4,
+		JobInit:           7.5,
+		TaskLaunch:        1.8,
+		JobCommit:         3.0,
+		SortBufferBytes:   100 * cluster.MB,
+		ReduceBufferBytes: 140 * cluster.MB,
+		CPUPerByteMap:     0.62e-7, // ~62 ns/byte: JVM record reader + Writable
+		CPUPerByteReduce:  0.6e-7,
+		CPUPerByteSort:    0.3e-7,
+		CPUPerRecord:      0.7e-6,
+		GCFactor:          0.55,
+		MemPressureGC:     2.5,
+		SlowstartFraction: 0.05,
+		JVMBaseMem:        0.7 * cluster.GB,
+		GarbageFactor:     4.0,
+		GarbageCap:        1.3 * cluster.GB,
+		HeapLingerSecs:    12,
+		DaemonMem:         1.0 * cluster.GB,
+		OutputReplication: 3,
+	}
+}
+
+// Engine is the Hadoop-like MapReduce engine.
+type Engine struct {
+	C    *cluster.Cluster
+	FS   *dfs.FS
+	Cfg  Config
+	Prof *metrics.Profiler // optional resource profiler
+}
+
+// New creates an engine over a cluster and filesystem.
+func New(fs *dfs.FS, cfg Config) *Engine {
+	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+}
+
+// Name implements job.Engine.
+func (e *Engine) Name() string { return "Hadoop" }
+
+// scale returns nominal bytes per actual byte.
+func (e *Engine) scale() float64 { return e.FS.Config().Scale }
+
+// mapOutput is a completed map task's partitioned, sorted output sitting
+// on the map node's local disk.
+type mapOutput struct {
+	node    int
+	parts   [][]kv.Pair // sorted run per reducer
+	nominal []float64   // nominal bytes per partition
+}
+
+// Run executes the job and returns its result. It drives the simulation
+// engine to completion, so the cluster must not have other foreground work.
+func (e *Engine) Run(spec job.Spec) job.Result {
+	spec.Normalize()
+	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	eng := e.C.Eng
+	res.Start = eng.Now()
+
+	// Daemon residency for the duration of the job.
+	for i := 0; i < e.C.N(); i++ {
+		e.C.Node(i).Mem.MustAlloc(e.Cfg.DaemonMem)
+	}
+	defer func() {
+		for i := 0; i < e.C.N(); i++ {
+			e.C.Node(i).Mem.Free(e.Cfg.DaemonMem)
+		}
+	}()
+
+	if e.Prof != nil {
+		e.Prof.WaitIOFunc = func(node int) int {
+			return eng.CountBlocked(func(p *sim.Proc) bool {
+				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
+			})
+		}
+		e.Prof.Start()
+		defer e.Prof.Stop()
+	}
+
+	blocks := spec.Input.Blocks
+	nMaps := len(blocks)
+	if nMaps == 0 {
+		res.Err = fmt.Errorf("mr: job %s has empty input", spec.Name)
+		return res
+	}
+	assignment := e.assignMaps(blocks)
+
+	mapSlots := make([]*sim.Semaphore, e.C.N())
+	reduceSlots := make([]*sim.Semaphore, e.C.N())
+	for i := range mapSlots {
+		mapSlots[i] = sim.NewSemaphore(e.Cfg.TasksPerNode)
+		reduceSlots[i] = sim.NewSemaphore(e.Cfg.TasksPerNode)
+	}
+
+	outputs := make([]*mapOutput, 0, nMaps)
+	mapsDone := 0
+	var mapPhaseEnd float64
+	var outputsCond sim.Cond // reducers wait here for new map outputs
+
+	var jobWG sim.WaitGroup
+	var jobErr error
+	failed := func() bool { return jobErr != nil }
+	fail := func(err error) {
+		if jobErr == nil {
+			jobErr = err
+		}
+		outputsCond.Broadcast() // unblock reducers waiting for map outputs
+	}
+
+	eng.Go("jobtracker:"+spec.Name, func(driver *sim.Proc) {
+		// Job submission: client uploads the job jar and splits; the
+		// JobTracker initializes the job and TaskTrackers heartbeat in.
+		driver.Sleep(e.Cfg.JobInit)
+
+		nReduce := 0
+		if spec.Reduce != nil && spec.Reducers > 0 {
+			nReduce = spec.Reducers
+		}
+
+		jobWG.Add(nMaps)
+		for mi := 0; mi < nMaps; mi++ {
+			mi := mi
+			node := assignment[mi]
+			eng.Go(fmt.Sprintf("map-%d", mi), func(p *sim.Proc) {
+				defer jobWG.Done()
+				p.Node = node
+				mapSlots[node].Acquire(p, "slot")
+				defer mapSlots[node].Release()
+				out, err := e.runMapTask(p, &spec, blocks[mi], node, nReduce)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res.AddCounter("maps", 1)
+				if e.FS.IsLocal(blocks[mi], node) {
+					res.AddCounter("data_local_maps", 1)
+				}
+				outputs = append(outputs, out)
+				mapsDone++
+				if mapsDone == nMaps {
+					mapPhaseEnd = eng.Now()
+				}
+				outputsCond.Broadcast()
+			})
+		}
+
+		if nReduce == 0 {
+			jobWG.Wait(driver)
+			driver.Sleep(e.Cfg.JobCommit)
+			if e.Prof != nil {
+				e.Prof.Stop()
+			}
+			return
+		}
+
+		jobWG.Add(nReduce)
+		slowstart := int(float64(nMaps)*e.Cfg.SlowstartFraction) + 1
+		if slowstart > nMaps {
+			slowstart = nMaps
+		}
+		for ri := 0; ri < nReduce; ri++ {
+			ri := ri
+			node := ri % e.C.N()
+			eng.Go(fmt.Sprintf("reduce-%d", ri), func(p *sim.Proc) {
+				defer jobWG.Done()
+				p.Node = node
+				// Slow-start: the JobTracker does not launch reducers
+				// until enough maps have finished.
+				for mapsDone < slowstart && jobErr == nil {
+					outputsCond.Wait(p, "slowstart")
+				}
+				if jobErr != nil {
+					return
+				}
+				reduceSlots[node].Acquire(p, "slot")
+				defer reduceSlots[node].Release()
+				if err := e.runReduceTask(p, &spec, ri, node, nMaps, &outputs, &outputsCond, failed, &res); err != nil {
+					fail(err)
+				} else {
+					res.AddCounter("reduces", 1)
+				}
+			})
+		}
+		jobWG.Wait(driver)
+		driver.Sleep(e.Cfg.JobCommit)
+		if e.Prof != nil {
+			e.Prof.Stop()
+		}
+	})
+
+	if err := eng.Run(); err != nil && jobErr == nil {
+		jobErr = err
+	}
+	res.End = eng.Now()
+	res.Elapsed = res.End - res.Start
+	if mapPhaseEnd > 0 {
+		res.Phases["map"] = mapPhaseEnd - res.Start
+		res.Phases["reduce"] = res.End - mapPhaseEnd
+	}
+	res.Err = jobErr
+	return res
+}
+
+// assignMaps gives each block a node with locality preference and
+// balanced waves (see job.AssignBlocks).
+func (e *Engine) assignMaps(blocks []*dfs.Block) []int {
+	return job.AssignBlocks(blocks, e.C.N())
+}
+
+// runMapTask executes one map task: JVM launch, streaming split read
+// overlapped with the map function and sort/spill I/O, then the final
+// merged output written to the local disk.
+func (e *Engine) runMapTask(p *sim.Proc, spec *job.Spec, blk *dfs.Block, node int, nReduce int) (*mapOutput, error) {
+	cfg := &e.Cfg
+	scale := e.scale()
+	p.Sleep(cfg.TaskLaunch)
+
+	// Decode and process the real records eagerly; collect the resource
+	// demands, then charge them overlapped (Hadoop streams the split
+	// through the mapper while the spill thread writes).
+	recs, inflated, err := job.Records(spec.InputFormat, blk.Data)
+	if err != nil {
+		return nil, fmt.Errorf("mr: map input: %w", err)
+	}
+	inflatedNominal := float64(inflated) * scale
+	nominalRecords := float64(len(recs)) * scale
+
+	nParts := nReduce
+	mapOnly := nParts == 0
+	if mapOnly {
+		nParts = 1
+	}
+	coll := kv.NewPartitionCollector(nParts, int(cfg.SortBufferBytes/scale), spec.Combine, spec.Part)
+	for _, rec := range recs {
+		spec.Map(rec.Key, rec.Value, coll.Emit)
+	}
+	parts, spillActual, mergeActual := coll.Finish()
+
+	emitScale := spec.EmitScale()
+	outActual := 0
+	nominal := make([]float64, nParts)
+	for pi, part := range parts {
+		b := 0
+		for _, pr := range part {
+			b += pr.Size() + 6 // per-record framing overhead on disk
+		}
+		outActual += b
+		nominal[pi] = float64(b) * emitScale
+	}
+
+	// Task heap residency: base JVM plus garbage proportional to the
+	// nominal bytes processed, capped by the configured heap size.
+	garbage := cfg.GarbageFactor * inflatedNominal
+	if garbage > cfg.GarbageCap {
+		garbage = cfg.GarbageCap
+	}
+	heap := cfg.JVMBaseMem + garbage
+	mem := e.C.Node(node).Mem
+	mem.MustAlloc(heap)
+	defer mem.FreeLazy(e.C.Eng, heap, cfg.HeapLingerSecs)
+
+	cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteMap*spec.MapCPUFactor*inflatedNominal +
+		cfg.CPUPerRecord*nominalRecords +
+		cfg.CPUPerByteSort*(float64(spillActual+outActual)*emitScale))
+
+	var wg sim.WaitGroup
+	// Split read (disk at replica + network if remote).
+	if err := e.FS.StartRead(blk, node, &wg); err != nil {
+		return nil, err
+	}
+	// Map + sort CPU, single-threaded.
+	wg.Add(1)
+	e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+	// Background JVM/GC overhead contends for CPU in parallel; memory
+	// pressure beyond 60% of node RAM adds GC storms on top.
+	if gc := e.gcOverhead(node, cpuSec); gc > 0 {
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(gc, wg.Done)
+	}
+	// Spill and final map output writes to local disk. If there were
+	// intermediate spills, the merge re-reads them before the final write.
+	diskBytes := float64(spillActual+outActual) * emitScale
+	mergeRead := float64(mergeActual) * emitScale
+	if diskBytes+mergeRead > 0 {
+		wg.Add(1)
+		e.C.Node(node).Disk.Start(diskBytes+mergeRead, wg.Done)
+		if e.Prof != nil {
+			e.Prof.AddDiskWrite(node, diskBytes)
+			e.Prof.AddDiskRead(node, mergeRead)
+		}
+	}
+	p.BlockReason = "disk"
+	wg.Wait(p)
+	p.BlockReason = ""
+
+	if mapOnly && spec.Output != "" {
+		// Map-only job: write this task's output straight to the DFS.
+		enc := job.EncodeTextOutput(parts[0])
+		w := e.FS.CreateScaled(fmt.Sprintf("%s/part-m-%05d", spec.Output, blk.ID), node, emitScale)
+		if err := w.Write(p, enc); err != nil {
+			return nil, err
+		}
+		if err := w.Close(p); err != nil {
+			return nil, err
+		}
+	}
+	return &mapOutput{node: node, parts: parts, nominal: nominal}, nil
+}
+
+// runReduceTask fetches every map's partition, merges (spilling when the
+// shuffle buffer overflows), applies the reduce function and writes the
+// replicated output file.
+func (e *Engine) runReduceTask(p *sim.Proc, spec *job.Spec, ri, node, nMaps int,
+	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result) error {
+	cfg := &e.Cfg
+
+	mem := e.C.Node(node).Mem
+	p.Sleep(cfg.TaskLaunch)
+	mem.MustAlloc(cfg.JVMBaseMem)
+	defer mem.FreeLazy(e.C.Eng, cfg.JVMBaseMem, cfg.HeapLingerSecs)
+
+	var runs [][]kv.Pair
+	fetched := 0
+	bufferedNominal := 0.0
+	spilledNominal := 0.0
+	bufferedMem := 0.0
+	for fetched < nMaps {
+		for fetched >= len(*outputs) {
+			if failed() {
+				return nil
+			}
+			cond.Wait(p, "shuffle-wait")
+		}
+		mo := (*outputs)[fetched]
+		fetched++
+		nom := mo.nominal[ri]
+		if nom == 0 {
+			if len(mo.parts[ri]) > 0 {
+				runs = append(runs, mo.parts[ri])
+			}
+			continue
+		}
+		// Fetch: read the partition from the map node's disk and pull it
+		// over the network (overlapped, as the TaskTracker streams it).
+		var wg sim.WaitGroup
+		wg.Add(1)
+		e.C.Node(mo.node).Disk.Start(nom, wg.Done)
+		if mo.node != node {
+			wg.Add(1)
+			e.C.Net.StartFlow(mo.node, node, nom, wg.Done)
+		}
+		if e.Prof != nil {
+			e.Prof.AddDiskRead(mo.node, nom)
+		}
+		p.BlockReason = "shuffle-io"
+		wg.Wait(p)
+		p.BlockReason = ""
+
+		runs = append(runs, mo.parts[ri])
+		res.AddCounter("shuffle_bytes_nominal", int64(nom))
+		bufferedNominal += nom
+		bufferedMem += nom
+		mem.MustAlloc(nom)
+		if bufferedNominal > cfg.ReduceBufferBytes {
+			// In-memory buffer overflow: spill merged runs to local disk.
+			e.C.Node(node).Disk.Use(p, bufferedNominal, "shuffle-io")
+			if e.Prof != nil {
+				e.Prof.AddDiskWrite(node, bufferedNominal)
+			}
+			spilledNominal += bufferedNominal
+			bufferedNominal = 0
+			mem.Free(bufferedMem)
+			bufferedMem = 0
+		}
+	}
+	defer mem.Free(bufferedMem)
+
+	// Final merge: spilled runs come back from disk; CPU for the merge.
+	totalNominal := bufferedNominal + spilledNominal
+	var wg sim.WaitGroup
+	if spilledNominal > 0 {
+		wg.Add(1)
+		e.C.Node(node).Disk.Start(spilledNominal, wg.Done)
+		if e.Prof != nil {
+			e.Prof.AddDiskRead(node, spilledNominal)
+		}
+	}
+	merged := kv.MergeRuns(runs)
+	// Intermediate record counts follow the same saturation rule as
+	// intermediate bytes.
+	nominalRecords := float64(len(merged)) * spec.EmitScale()
+	cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteReduce*spec.ReduceCPUFactor*totalNominal +
+		cfg.CPUPerByteSort*totalNominal +
+		cfg.CPUPerRecord*nominalRecords)
+	wg.Add(1)
+	e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+	if gc := e.gcOverhead(node, cpuSec); gc > 0 {
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(gc, wg.Done)
+	}
+	p.BlockReason = "disk"
+	wg.Wait(p)
+	p.BlockReason = ""
+
+	reduced := kv.GroupReduce(merged, spec.Reduce)
+	res.OutRecords += int64(len(reduced))
+
+	if spec.Output != "" {
+		enc := job.EncodeTextOutput(reduced)
+		w := e.FS.CreateScaled(fmt.Sprintf("%s/part-r-%05d", spec.Output, ri), node, spec.EmitScale())
+		if err := w.Write(p, enc); err != nil {
+			return err
+		}
+		if err := w.Close(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachProfiler wires a resource profiler into the engine.
+func (e *Engine) AttachProfiler(p *metrics.Profiler) { e.Prof = p }
+
+// gcOverhead returns the background JVM CPU charged alongside a task:
+// the baseline GCFactor plus a memory-pressure GC storm term when the
+// node's memory utilization exceeds 60%.
+func (e *Engine) gcOverhead(node int, cpuSec float64) float64 {
+	gc := e.Cfg.GCFactor * cpuSec
+	mem := e.C.Node(node).Mem
+	if press := mem.Pressure(); press > 0.7 {
+		gc += e.Cfg.MemPressureGC * (press - 0.7) / 0.3 * cpuSec
+	}
+	return gc
+}

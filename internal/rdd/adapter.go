@@ -1,0 +1,55 @@
+package rdd
+
+import (
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+)
+
+// Run implements job.Engine by translating the engine-agnostic spec into
+// an RDD lineage: textFile → flatMap → {reduceByKey | sortByKey} → save.
+// Range-partitioned specs become SortByKey (total order, OOM-prone);
+// hash-partitioned specs become ReduceByKey (streaming aggregation).
+func (e *Engine) Run(spec job.Spec) job.Result {
+	spec.Normalize()
+	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	res.Start = e.C.Eng.Now()
+
+	var src *RDD
+	if spec.InputFormat == job.Text {
+		src = e.TextFile(spec.Input)
+	} else {
+		src = e.SequenceFile(spec.Input, spec.InputFormat)
+	}
+	mapped := src.FlatMapKV(spec.Map, spec.MapCPUFactor*spec.CPUAdjust(e.Name()))
+
+	var final *RDD
+	if spec.Reducers <= 0 {
+		final = mapped // map-only pipeline
+	} else if _, isRange := spec.Part.(*kv.RangePartitioner); isRange {
+		final = mapped.SortByKey(spec.Part, spec.Reduce, spec.Reducers)
+	} else if spec.Combine != nil {
+		final = mapped.ReduceByKey(spec.Combine, spec.Reduce, spec.Reducers)
+	} else {
+		final = mapped.GroupByKey(spec.Reduce, spec.Reducers)
+	}
+
+	jr := final.SaveAsTextFile(spec.Output)
+	res.End = e.C.Eng.Now()
+	res.Elapsed = jr.Elapsed
+	res.Err = jr.Err
+	for i, d := range jr.Stages {
+		res.Phases[stageName(i)] = d
+	}
+	return res
+}
+
+func stageName(i int) string {
+	switch i {
+	case 0:
+		return "stage0"
+	case 1:
+		return "stage1"
+	default:
+		return "stage" + string(rune('0'+i))
+	}
+}

@@ -1,0 +1,508 @@
+package rdd
+
+import (
+	"fmt"
+
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// stage is a maximal chain of narrow ops rooted at a source RDD, a cached
+// RDD, or a wide (shuffle) dependency.
+type stage struct {
+	root     *RDD // source or post-shuffle RDD at the bottom of the chain
+	narrow   []*narrowOp
+	target   *RDD    // the RDD this stage materializes
+	consumer *wideOp // the shuffle this stage feeds (nil for the last stage)
+}
+
+// plan walks the lineage and produces stages bottom-up, linking each
+// stage to the wide op that consumes its output.
+func plan(r *RDD) []*stage {
+	var stages []*stage
+	var walk func(r *RDD) *stage
+	walk = func(r *RDD) *stage {
+		switch {
+		case r.cached && r.inCache:
+			return &stage{root: r, target: r}
+		case r.source != nil:
+			return &stage{root: r, target: r}
+		case r.narrow != nil:
+			par := r.narrow.parent
+			var st *stage
+			if par.cached {
+				// Cut the stage at a cached parent: the parent is
+				// materialized (and pinned) by its own stage, then this
+				// chain reads from the cache.
+				if !par.inCache {
+					stages = append(stages, walk(par))
+				}
+				st = &stage{root: par, target: par}
+			} else {
+				st = walk(par)
+			}
+			st.narrow = append(st.narrow, r.narrow)
+			st.target = r
+			return st
+		case r.wide != nil:
+			parent := walk(r.wide.parent)
+			parent.consumer = r.wide
+			stages = append(stages, parent)
+			return &stage{root: r, target: r}
+		default:
+			panic("rdd: malformed lineage")
+		}
+	}
+	last := walk(r)
+	stages = append(stages, last)
+	return stages
+}
+
+// JobResult reports one action's execution.
+type JobResult struct {
+	Elapsed float64
+	Stages  []float64 // per-stage durations
+	Err     error
+}
+
+// SaveAsTextFile computes the RDD and writes one part file per partition.
+func (r *RDD) SaveAsTextFile(path string) JobResult {
+	return r.eng.runAction(r, path, nil)
+}
+
+// Collect computes the RDD and returns all pairs (partition order).
+func (r *RDD) Collect() ([]kv.Pair, JobResult) {
+	var out []kv.Pair
+	res := r.eng.runAction(r, "", func(parts []partData) {
+		for _, pd := range parts {
+			out = append(out, pd.pairs...)
+		}
+	})
+	return out, res
+}
+
+// runAction executes the staged computation of target inside the
+// simulation, optionally writing output or collecting results.
+func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)) JobResult {
+	eng := e.C.Eng
+	cfg := &e.Cfg
+	res := JobResult{}
+	start := eng.Now()
+
+	for i := 0; i < e.C.N(); i++ {
+		e.C.Node(i).Mem.MustAlloc(cfg.DaemonMem + float64(cfg.WorkersPerNode)*cfg.ExecutorBaseMem)
+	}
+	defer func() {
+		for i := 0; i < e.C.N(); i++ {
+			e.C.Node(i).Mem.Free(cfg.DaemonMem + float64(cfg.WorkersPerNode)*cfg.ExecutorBaseMem)
+		}
+	}()
+
+	if e.Prof != nil {
+		e.Prof.WaitIOFunc = func(node int) int {
+			return eng.CountBlocked(func(p *sim.Proc) bool {
+				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
+			})
+		}
+		e.Prof.Start()
+	}
+
+	stages := plan(target)
+	slots := make([]*sim.Semaphore, e.C.N())
+	for i := range slots {
+		slots[i] = sim.NewSemaphore(cfg.WorkersPerNode)
+	}
+
+	var jobErr error
+	var stageEnds []float64
+	eng.Go("spark-driver", func(driver *sim.Proc) {
+		if !e.appStarted {
+			driver.Sleep(cfg.AppLaunch)
+			e.appStarted = true
+		}
+		var current []partData
+		for si, st := range stages {
+			isLast := si == len(stages)-1
+			out, err := e.runStage(driver, st, current, slots, isLast, outPath)
+			if err != nil {
+				jobErr = err
+				break
+			}
+			current = out
+			stageEnds = append(stageEnds, eng.Now())
+		}
+		if jobErr == nil && collect != nil {
+			collect(current)
+		}
+		driver.Sleep(cfg.JobFinalize)
+		if e.Prof != nil {
+			e.Prof.Stop()
+		}
+	})
+	if err := eng.Run(); err != nil && jobErr == nil {
+		jobErr = err
+	}
+	res.Elapsed = eng.Now() - start
+	prev := start
+	for _, t := range stageEnds {
+		res.Stages = append(res.Stages, t-prev)
+		prev = t
+	}
+	res.Err = jobErr
+	return res
+}
+
+// runStage executes one stage's tasks over worker slots and returns the
+// materialized output partitions (input to the next stage).
+func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
+	slots []*sim.Semaphore, isLast bool, outPath string) ([]partData, error) {
+
+	eng := e.C.Eng
+	cfg := &e.Cfg
+	scale := e.scale()
+
+	type taskIn struct {
+		node    int
+		pairs   []kv.Pair
+		nominal float64
+		blk     *dfs.Block // source tasks read this
+		inflate float64    // decoded nominal bytes
+		fetches []partData // post-shuffle tasks fetch these
+		wide    *wideOp
+	}
+	var tasks []taskIn
+
+	switch {
+	case st.root.cached && st.root.inCache:
+		for _, pd := range st.root.cacheData {
+			tasks = append(tasks, taskIn{node: pd.node, pairs: pd.pairs, nominal: pd.nominal})
+		}
+	case st.root.source != nil:
+		blocks := st.root.source.Blocks
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("rdd: empty input file")
+		}
+		nodeOf := job.AssignBlocks(blocks, e.C.N())
+		for i, blk := range blocks {
+			tasks = append(tasks, taskIn{node: nodeOf[i], blk: blk})
+		}
+	case st.root.wide != nil:
+		w := st.root.wide
+		for pi := 0; pi < w.nParts; pi++ {
+			tasks = append(tasks, taskIn{node: pi % e.C.N(), wide: w})
+		}
+	default:
+		return nil, fmt.Errorf("rdd: stage with no root")
+	}
+
+	// For post-shuffle stages the fetches are organized here: shuffleIn
+	// contains one partData per (map task, reduce partition), tagged by
+	// partition in nominal order. Build an index.
+	var byPart map[int][]partData
+	if st.root.wide != nil {
+		byPart = make(map[int][]partData)
+		for i, pd := range shuffleIn {
+			pi := i % st.root.wide.nParts
+			byPart[pi] = append(byPart[pi], pd)
+		}
+		for i := range tasks {
+			tasks[i].fetches = byPart[i]
+		}
+	}
+
+	results := make([]partData, 0, len(tasks))
+	var firstErr error
+	var wg sim.WaitGroup
+	wg.Add(len(tasks))
+	for ti := range tasks {
+		ti := ti
+		tin := &tasks[ti]
+		eng.Go(fmt.Sprintf("spark-task-%d", ti), func(p *sim.Proc) {
+			defer wg.Done()
+			if firstErr != nil {
+				return
+			}
+			p.Node = tin.node
+			slots[tin.node].Acquire(p, "slot")
+			defer slots[tin.node].Release()
+			p.Sleep(cfg.TaskDispatch)
+			out, err := e.runTask(p, st, tin.node, tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results = append(results, out...)
+		})
+	}
+	wg.Wait(driver)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Cache materialization: pin this stage's output in executor memory.
+	if st.target.cached && !st.target.inCache {
+		total := map[int]float64{}
+		for _, pd := range results {
+			total[pd.node] += pd.nominal * cfg.ExpansionFactor
+		}
+		fits := true
+		for n, b := range total {
+			budget := float64(cfg.WorkersPerNode)*cfg.WorkerHeap - e.usedExecutorMem(n)
+			if b > budget {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for _, pd := range results {
+				e.C.Node(pd.node).Mem.MustAlloc(pd.nominal * cfg.ExpansionFactor)
+			}
+			st.target.cacheData = results
+			st.target.inCache = true
+		}
+		// If it does not fit, Spark silently evicts: the RDD is simply
+		// not cached and later actions recompute it.
+	}
+	_ = scale
+	return results, nil
+}
+
+func (e *Engine) usedExecutorMem(node int) float64 {
+	used := e.C.Node(node).Mem.Used() - e.Cfg.DaemonMem - float64(e.Cfg.WorkersPerNode)*e.Cfg.ExecutorBaseMem
+	if used < 0 {
+		used = 0
+	}
+	return used
+}
+
+// runTask executes one task of a stage: obtain input (block read, cache,
+// or shuffle fetch), apply fused narrow ops, then either write shuffle
+// output, write the final file, or hand back collected pairs.
+func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
+	cachedPairs []kv.Pair, cachedNominal float64, fetches []partData,
+	wide *wideOp, isLast bool, outPath string, taskIdx int) ([]partData, error) {
+
+	cfg := &e.Cfg
+	scale := e.scale()
+	eng := e.C.Eng
+	var pairs []kv.Pair
+	var inputNominal float64
+	cpuFactor := 1.0
+	for _, n := range st.narrow {
+		cpuFactor *= n.cpuFactor
+	}
+
+	var wg sim.WaitGroup
+	var cpuSec float64
+
+	switch {
+	case blk != nil:
+		recs, inflated, err := job.Records(st.root.format, blk.Data)
+		if err != nil {
+			return nil, fmt.Errorf("rdd: input: %w", err)
+		}
+		if err := e.FS.StartRead(blk, node, &wg); err != nil {
+			return nil, err
+		}
+		pairs = recs
+		inputNominal = float64(inflated) * scale
+	case cachedPairs != nil:
+		pairs = cachedPairs
+		inputNominal = cachedNominal
+	default:
+		// Shuffle fetch: pull every map task's slice of this partition.
+		totalNominal := 0.0
+		buffered := 0.0
+		for _, pd := range fetches {
+			if pd.nominal == 0 {
+				pairs = append(pairs, pd.pairs...)
+				continue
+			}
+			var fw sim.WaitGroup
+			fw.Add(1)
+			e.C.Node(pd.node).Disk.Start(pd.nominal, fw.Done)
+			if e.Prof != nil {
+				e.Prof.AddDiskRead(pd.node, pd.nominal)
+			}
+			if pd.node != node {
+				fw.Add(1)
+				e.C.Net.StartFlow(pd.node, node, pd.nominal, fw.Done)
+			}
+			p.BlockReason = "shuffle-io"
+			fw.Wait(p)
+			p.BlockReason = ""
+			pairs = append(pairs, pd.pairs...)
+			totalNominal += pd.nominal
+			buffered += pd.nominal
+			if buffered > cfg.ShuffleBufferBytes {
+				// Spill fetched data past the buffer to local disk.
+				e.C.Node(node).Disk.Use(p, buffered, "shuffle-io")
+				if e.Prof != nil {
+					e.Prof.AddDiskWrite(node, buffered)
+				}
+				buffered = 0
+			}
+		}
+		inputNominal = totalNominal
+
+		// Materialization for the wide op: sort stages hold the whole
+		// partition as objects — the OOM point.
+		if wide != nil && wide.sorted {
+			workingSet := inputNominal * cfg.ExpansionFactor * cfg.SortOverheadFactor
+			if workingSet > cfg.WorkerHeap {
+				return nil, &sim.OOMError{
+					Account:   fmt.Sprintf("spark-worker[%d]", node),
+					Requested: workingSet,
+					Used:      0,
+					Limit:     cfg.WorkerHeap,
+				}
+			}
+		}
+		// Transient working memory with GC lag.
+		transient := inputNominal * cfg.ExpansionFactor
+		mem := e.C.Node(node).Mem
+		mem.MustAlloc(transient)
+		defer mem.FreeLazy(eng, transient, cfg.GCLagSecs)
+
+		if wide != nil {
+			kv.SortPairs(pairs)
+			cpuSec += cfg.CPUPerByteSort * inputNominal
+			if wide.reduce != nil {
+				pairs = kv.GroupReduce(pairs, wide.reduce)
+			}
+			cpuSec += cfg.CPUPerByteReduce * inputNominal
+		}
+	}
+
+	if blk != nil {
+		// Streaming stages hold only a window of the partition as live
+		// objects (the iterator pipeline), not the whole expansion.
+		transient := 0.35 * inputNominal * cfg.ExpansionFactor
+		mem := e.C.Node(node).Mem
+		mem.MustAlloc(transient)
+		defer mem.FreeLazy(eng, transient, cfg.GCLagSecs)
+	}
+
+	// Record-processing CPU is charged on the records entering the stage
+	// (shuffle-stage records saturate when the shuffle combined).
+	recScale := scale
+	if wide != nil && wide.combine != nil {
+		recScale = 1
+	}
+	nominalRecords := float64(len(pairs)) * recScale
+
+	// Apply the fused narrow chain (really).
+	for _, n := range st.narrow {
+		var out []kv.Pair
+		n.f(pairs, func(pr kv.Pair) { out = append(out, pr) })
+		pairs = out
+	}
+	cpuSec += cfg.CPUPerByteMap*cpuFactor*inputNominal + cfg.CPUPerRecord*nominalRecords
+
+	wg.Add(1)
+	e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+	gc := cfg.GCFactor * cpuSec
+	if press := e.C.Node(node).Mem.Pressure(); press > 0.7 {
+		gc += cfg.MemPressureGC * (press - 0.7) / 0.3 * cpuSec
+	}
+	if gc > 0 {
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(gc, wg.Done)
+	}
+
+	// Cardinality-bound data (outputs of combining shuffles) is charged
+	// unscaled; see job.Spec.SaturatingIntermediate for the rule.
+	outScale := scale
+	if wide != nil && wide.combine != nil {
+		outScale = 1
+	}
+
+	if isLast {
+		p.BlockReason = "disk"
+		wg.Wait(p)
+		p.BlockReason = ""
+		outNominal := 0.0
+		for _, pr := range pairs {
+			outNominal += float64(pr.Size()+6) * outScale
+		}
+		if outPath != "" {
+			enc := job.EncodeTextOutput(pairs)
+			w := e.FS.CreateScaled(fmt.Sprintf("%s/part-%05d", outPath, taskIdx), node, outScale)
+			if err := w.Write(p, enc); err != nil {
+				return nil, err
+			}
+			if err := w.Close(p); err != nil {
+				return nil, err
+			}
+		}
+		return []partData{{pairs: pairs, nominal: outNominal, node: node}}, nil
+	}
+
+	// Not the last stage: this stage feeds a wide op — write shuffle
+	// output (Spark 0.8 hash shuffle materializes map outputs on the
+	// local disks of the map side).
+	next := findWideConsumer(st)
+	if next == nil {
+		// Feeding a cached materialization without shuffle: building the
+		// RDD's in-memory representation costs CPU (deserialization into
+		// JVM objects — the "creates the RDD" cost of the paper's Spark
+		// Stage 0).
+		outNominal := 0.0
+		for _, pr := range pairs {
+			outNominal += float64(pr.Size()+6) * outScale
+		}
+		if cfg.CacheCPUPerByte > 0 && st.target.cached {
+			wg.Add(1)
+			e.C.Node(node).CPU.Start(cfg.CacheCPUPerByte*outNominal, wg.Done)
+		}
+		p.BlockReason = "disk"
+		wg.Wait(p)
+		p.BlockReason = ""
+		return []partData{{pairs: pairs, nominal: outNominal, node: node}}, nil
+	}
+	shufScale := scale
+	if next.combine != nil {
+		shufScale = 1
+	}
+	coll := kv.NewPartitionCollector(next.nParts, 0, next.combine, next.part)
+	for _, pr := range pairs {
+		coll.Emit(pr.Key, pr.Value)
+	}
+	parts, _, _ := coll.Finish()
+	out := make([]partData, next.nParts)
+	writeNominal := 0.0
+	for pi, part := range parts {
+		nom := 0.0
+		for _, pr := range part {
+			nom += float64(pr.Size()+6) * shufScale
+		}
+		writeNominal += nom
+		out[pi] = partData{pairs: part, nominal: nom, node: node}
+	}
+	if writeNominal > 0 {
+		wg.Add(1)
+		e.C.Node(node).Disk.Start(writeNominal, wg.Done)
+		if e.Prof != nil {
+			e.Prof.AddDiskWrite(node, writeNominal)
+		}
+		// Shuffle-write serialization runs on the shuffle writer thread.
+		if cfg.CPUPerByteShuffle > 0 {
+			wg.Add(1)
+			e.C.Node(node).CPU.Start(cfg.CPUPerByteShuffle*writeNominal, wg.Done)
+		}
+	}
+	p.BlockReason = "disk"
+	wg.Wait(p)
+	p.BlockReason = ""
+	return out, nil
+}
+
+// findWideConsumer returns the wide op that consumes st's output, wired
+// up during planning (nil for the final stage of a lineage).
+func findWideConsumer(st *stage) *wideOp {
+	return st.consumer
+}

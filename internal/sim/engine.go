@@ -1,0 +1,326 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with coroutine-style processes and fluid (processor-sharing) resources.
+//
+// The kernel is the substrate beneath every framework in this repository:
+// the Hadoop-like MapReduce engine, the Spark-like RDD engine, and DataMPI
+// all run their tasks as sim processes, and all of their I/O is charged to
+// sim resources (CPU, disk, network, memory). Because the event queue is
+// ordered by (time, sequence) and at most one process runs at any instant,
+// a simulation with a fixed seed is fully deterministic and reproducible.
+//
+// Processes are implemented as goroutines in strict alternation with the
+// kernel goroutine: the kernel resumes a process and then blocks until that
+// process parks (blocks on a resource or exits). This lets task code read
+// linearly — disk.Read(n); cpu.Compute(s); fabric.Transfer(...) — while
+// remaining single-threaded in effect.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Timer is a scheduled event. It can be canceled before it fires.
+type Timer struct {
+	at       float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// At returns the simulated time at which the timer fires.
+func (t *Timer) At() float64 { return t.at }
+
+// Cancel prevents the timer from firing. Canceling an already-fired timer
+// is a no-op.
+func (t *Timer) Cancel() { t.canceled = true }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a deterministic discrete-event simulation kernel.
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	parked chan struct{} // signaled by a proc when it parks or exits
+	procs  map[*Proc]struct{}
+	nlive  int
+	trace  func(string)
+}
+
+// NewEngine returns a fresh simulation engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetTrace installs a debug trace sink. A nil sink disables tracing.
+func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(fmt.Sprintf("[%10.3f] ", e.now) + fmt.Sprintf(format, args...))
+	}
+}
+
+// Schedule arranges for fn to run at now+delay on the kernel goroutine.
+// A negative delay is treated as zero. The returned Timer may be canceled.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	t := &Timer{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, t)
+	return t
+}
+
+// ScheduleAt arranges for fn to run at absolute time at (clamped to now).
+func (e *Engine) ScheduleAt(at float64, fn func()) *Timer {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Run executes events until the queue is empty. It returns an error if
+// processes remain parked with no pending events (a simulation deadlock),
+// naming the stuck processes to aid debugging.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		t := heap.Pop(&e.events).(*Timer)
+		if t.canceled {
+			continue
+		}
+		if t.at < e.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, t.at)
+		}
+		e.now = t.at
+		t.fn()
+	}
+	if e.nlive > 0 {
+		names := make([]string, 0, e.nlive)
+		for p := range e.procs {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock at t=%.3f: %d process(es) blocked: %v", e.now, e.nlive, names)
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// leaving later events queued. It returns the number of events executed.
+func (e *Engine) RunUntil(deadline float64) int {
+	n := 0
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		t := heap.Pop(&e.events).(*Timer)
+		if t.canceled {
+			continue
+		}
+		e.now = t.at
+		t.fn()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Proc is a simulated process: a goroutine that alternates strictly with
+// the kernel. Proc methods that block (Sleep, resource waits) must only be
+// called from the proc's own goroutine.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+	dead bool
+
+	// BlockReason is set while the proc is parked; used by the metrics
+	// sampler to attribute blocked time (e.g. CPU-wait-IO accounting).
+	BlockReason string
+	// Node is an opaque tag (typically a node index) used by metrics.
+	Node int
+}
+
+// Name returns the debug name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// CountBlocked returns the number of live procs for which fn reports true.
+// The metrics profiler uses it to attribute CPU wait-I/O: counting procs
+// parked with an I/O block reason on a given node.
+func (e *Engine) CountBlocked(fn func(*Proc) bool) int {
+	n := 0
+	for p := range e.procs {
+		if fn(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Go spawns a new simulated process executing fn. The process starts at the
+// current simulated time (after already-queued events at this timestamp).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{}), Node: -1}
+	e.procs[p] = struct{}{}
+	e.nlive++
+	go func() {
+		<-p.wake // wait for the kernel to start us
+		fn(p)
+		p.dead = true
+		delete(e.procs, p)
+		e.nlive--
+		e.parked <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// resume transfers control to p and blocks until p parks again or exits.
+// Must be called on the kernel goroutine (inside an event).
+func (e *Engine) resume(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.wake <- struct{}{}
+	<-e.parked
+}
+
+// Park blocks the calling proc until something resumes it via a scheduled
+// event calling Unpark. reason is recorded for metrics/debugging; an empty
+// reason preserves a reason the caller already set on BlockReason (so a
+// task can label a composite wait, e.g. "disk", before blocking on a
+// WaitGroup).
+func (p *Proc) Park(reason string) {
+	if reason != "" {
+		p.BlockReason = reason
+	}
+	p.eng.parked <- struct{}{}
+	<-p.wake
+	p.BlockReason = ""
+}
+
+// Unpark schedules p to be resumed at the current simulated time. It is the
+// counterpart of Park and must be called from kernel context (an event
+// callback) or from another proc.
+func (p *Proc) Unpark() {
+	e := p.eng
+	e.Schedule(0, func() { e.resume(p) })
+}
+
+// Sleep suspends the proc for d simulated seconds.
+func (p *Proc) Sleep(d float64) {
+	if d <= 0 {
+		// Yield: reschedule after already-queued same-time events.
+		p.eng.Schedule(0, func() { p.eng.resume(p) })
+		p.Park("yield")
+		return
+	}
+	p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.Park("sleep")
+}
+
+// WaitGroup is a simulation-aware analogue of sync.WaitGroup: procs block
+// in simulated time rather than wall-clock time.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+
+// Done decrements the counter and wakes all waiters when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			p.Unpark()
+		}
+		w.waiters = nil
+	}
+}
+
+// Wait parks p until the counter reaches zero. The proc's existing
+// BlockReason (if any) is preserved for metrics attribution.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.Park("")
+}
+
+// Cond is a simulation-aware condition variable with FIFO wakeup order.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks p until Signal or Broadcast wakes it. reason is recorded for
+// metrics attribution while blocked.
+func (c *Cond) Wait(p *Proc, reason string) {
+	c.waiters = append(c.waiters, p)
+	p.Park(reason)
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.Unpark()
+}
+
+// Broadcast wakes all waiting procs in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.Unpark()
+	}
+	c.waiters = nil
+}
+
+// Len reports how many procs are currently waiting.
+func (c *Cond) Len() int { return len(c.waiters) }

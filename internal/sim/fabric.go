@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Fabric models a non-blocking switched network (the paper's 1 Gigabit
+// Ethernet switch): every node has a full-duplex link to the switch, and
+// concurrent flows receive progressive-filling max-min fair rates over
+// their source egress and destination ingress links.
+//
+// Node-local transfers (src == dst) bypass the switch and are served at
+// loopbackBW without contending with network flows, mirroring the kernel
+// loopback path.
+type Fabric struct {
+	eng        *Engine
+	nodes      int
+	linkBW     float64 // bytes/sec, per direction, per node
+	loopbackBW float64
+
+	flows map[*Flow]struct{}
+	last  float64
+	timer *Timer
+
+	// Per-node traffic integrals for utilization accounting.
+	rxIntegral []float64
+	txIntegral []float64
+}
+
+// Flow is an in-progress network transfer.
+type Flow struct {
+	Src, Dst  int
+	remaining float64
+	rate      float64
+	onDone    func()
+}
+
+// NewFabric creates a switched fabric for n nodes with the given per-link
+// bandwidth (bytes/second each direction).
+func NewFabric(eng *Engine, n int, linkBW float64) *Fabric {
+	if n <= 0 || linkBW <= 0 {
+		panic("sim: fabric needs nodes and positive bandwidth")
+	}
+	return &Fabric{
+		eng:        eng,
+		nodes:      n,
+		linkBW:     linkBW,
+		loopbackBW: 40 * linkBW, // loopback is effectively a memcpy
+		flows:      make(map[*Flow]struct{}),
+		rxIntegral: make([]float64, n),
+		txIntegral: make([]float64, n),
+	}
+}
+
+// Nodes returns the number of endpoints.
+func (fb *Fabric) Nodes() int { return fb.nodes }
+
+// LinkBW returns the per-direction link bandwidth in bytes/second.
+func (fb *Fabric) LinkBW() float64 { return fb.linkBW }
+
+// Transfer moves bytes from src to dst, blocking the proc until delivery
+// completes under max-min fair sharing.
+func (fb *Fabric) Transfer(p *Proc, src, dst int, bytes float64, reason string) {
+	if bytes <= workEpsilon {
+		return
+	}
+	f := &Flow{Src: src, Dst: dst, remaining: bytes, onDone: p.Unpark}
+	fb.startFlow(f)
+	p.Park(reason)
+}
+
+// StartFlow begins an asynchronous transfer; onDone runs in kernel context
+// at completion. It returns the flow handle.
+func (fb *Fabric) StartFlow(src, dst int, bytes float64, onDone func()) *Flow {
+	f := &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
+	if bytes <= workEpsilon {
+		if onDone != nil {
+			fb.eng.Schedule(0, onDone)
+		}
+		return f
+	}
+	fb.startFlow(f)
+	return f
+}
+
+func (fb *Fabric) startFlow(f *Flow) {
+	fb.advance()
+	fb.flows[f] = struct{}{}
+	fb.reallocate()
+}
+
+func (fb *Fabric) advance() {
+	now := fb.eng.now
+	dt := now - fb.last
+	fb.last = now
+	if dt <= 0 || len(fb.flows) == 0 {
+		return
+	}
+	for f := range fb.flows {
+		f.remaining -= f.rate * dt
+		if f.Src != f.Dst {
+			fb.txIntegral[f.Src] += f.rate * dt
+			fb.rxIntegral[f.Dst] += f.rate * dt
+		}
+	}
+}
+
+// reallocate computes progressive-filling max-min fair rates. Each network
+// flow consumes capacity on two links: egress(src) and ingress(dst).
+// Loopback flows get fixed loopback bandwidth.
+func (fb *Fabric) reallocate() {
+	if fb.timer != nil {
+		fb.timer.Cancel()
+		fb.timer = nil
+	}
+	var finished []*Flow
+	for f := range fb.flows {
+		if flowDone(f.remaining, f.rate) {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic callback order.
+	sort.Slice(finished, func(i, j int) bool {
+		if finished[i].Src != finished[j].Src {
+			return finished[i].Src < finished[j].Src
+		}
+		return finished[i].Dst < finished[j].Dst
+	})
+	for _, f := range finished {
+		delete(fb.flows, f)
+	}
+	for _, f := range finished {
+		if f.onDone != nil {
+			fb.eng.Schedule(0, f.onDone)
+		}
+	}
+	if len(fb.flows) == 0 {
+		return
+	}
+
+	// Progressive filling. Links are indexed: egress i -> i, ingress i -> nodes+i.
+	type linkState struct {
+		cap   float64
+		count int
+	}
+	links := make([]linkState, 2*fb.nodes)
+	for i := range links {
+		links[i].cap = fb.linkBW
+	}
+	var netFlows []*Flow
+	for f := range fb.flows {
+		if f.Src == f.Dst {
+			f.rate = fb.loopbackBW
+			continue
+		}
+		f.rate = -1 // unassigned
+		links[f.Src].count++
+		links[fb.nodes+f.Dst].count++
+		netFlows = append(netFlows, f)
+	}
+	sort.Slice(netFlows, func(i, j int) bool {
+		if netFlows[i].Src != netFlows[j].Src {
+			return netFlows[i].Src < netFlows[j].Src
+		}
+		return netFlows[i].Dst < netFlows[j].Dst
+	})
+	unassigned := len(netFlows)
+	for unassigned > 0 {
+		// Find the bottleneck link: smallest fair share among links with
+		// unassigned flows.
+		bottleneck := -1
+		best := math.Inf(1)
+		for li := range links {
+			if links[li].count == 0 {
+				continue
+			}
+			share := links[li].cap / float64(links[li].count)
+			if share < best {
+				best = share
+				bottleneck = li
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		// Fix every unassigned flow crossing the bottleneck at the share.
+		for _, f := range netFlows {
+			if f.rate >= 0 {
+				continue
+			}
+			eg, in := f.Src, fb.nodes+f.Dst
+			if eg != bottleneck && in != bottleneck {
+				continue
+			}
+			f.rate = best
+			links[eg].cap -= best
+			links[eg].count--
+			links[in].cap -= best
+			links[in].count--
+			unassigned--
+		}
+		if links[bottleneck].cap < 0 {
+			links[bottleneck].cap = 0
+		}
+	}
+
+	next := math.Inf(1)
+	for f := range fb.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	fb.timer = fb.eng.Schedule(next, func() {
+		fb.advance()
+		fb.reallocate()
+	})
+}
+
+// RxRate returns the instantaneous receive rate (bytes/sec) at node i,
+// excluding loopback.
+func (fb *Fabric) RxRate(i int) float64 {
+	r := 0.0
+	for f := range fb.flows {
+		if f.Dst == i && f.Src != f.Dst {
+			r += f.rate
+		}
+	}
+	return r
+}
+
+// TxRate returns the instantaneous transmit rate (bytes/sec) at node i,
+// excluding loopback.
+func (fb *Fabric) TxRate(i int) float64 {
+	r := 0.0
+	for f := range fb.flows {
+		if f.Src == i && f.Src != f.Dst {
+			r += f.rate
+		}
+	}
+	return r
+}
+
+// RxIntegral returns total bytes received by node i so far.
+func (fb *Fabric) RxIntegral(i int) float64 {
+	fb.advance()
+	return fb.rxIntegral[i]
+}
+
+// TxIntegral returns total bytes sent by node i so far.
+func (fb *Fabric) TxIntegral(i int) float64 {
+	fb.advance()
+	return fb.txIntegral[i]
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }

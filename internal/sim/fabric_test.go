@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFabricSingleFlow(t *testing.T) {
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100) // 100 B/s links
+	var done float64
+	e.Go("xfer", func(p *Proc) {
+		fb.Transfer(p, 0, 1, 300, "net")
+		done = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(done, 3, 1e-9) {
+		t.Fatalf("done = %v, want 3", done)
+	}
+}
+
+func TestFabricIncastSharesIngress(t *testing.T) {
+	// 3 senders -> node 0. Ingress of node 0 is the bottleneck: each flow
+	// gets 100/3 B/s, so 100 bytes each takes 3 seconds.
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100)
+	var finish []float64
+	for s := 1; s <= 3; s++ {
+		src := s
+		e.Go("xfer", func(p *Proc) {
+			fb.Transfer(p, src, 0, 100, "net")
+			finish = append(finish, e.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finish {
+		if !almostEqual(f, 3, 1e-9) {
+			t.Fatalf("finish = %v, want all 3", finish)
+		}
+	}
+}
+
+func TestFabricDisjointFlowsFullRate(t *testing.T) {
+	// 0->1 and 2->3 share no links: both run at full 100 B/s.
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100)
+	var t1, t2 float64
+	e.Go("a", func(p *Proc) { fb.Transfer(p, 0, 1, 100, "net"); t1 = e.Now() })
+	e.Go("b", func(p *Proc) { fb.Transfer(p, 2, 3, 100, "net"); t2 = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(t1, 1, 1e-9) || !almostEqual(t2, 1, 1e-9) {
+		t.Fatalf("t1=%v t2=%v, want 1,1", t1, t2)
+	}
+}
+
+func TestFabricMaxMinUnbalanced(t *testing.T) {
+	// Flows: A: 0->2, B: 1->2, C: 1->3. Ingress(2) is shared by A and B:
+	// each gets 50. Egress(1) carries B (50) and C; C gets the leftover 50,
+	// then is bottlenecked by nothing else, so C also gets 50... but
+	// max-min should give C the remaining egress(1) capacity: 100-50=50.
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100)
+	var ta, tb, tc float64
+	e.Go("a", func(p *Proc) { fb.Transfer(p, 0, 2, 100, "net"); ta = e.Now() })
+	e.Go("b", func(p *Proc) { fb.Transfer(p, 1, 2, 100, "net"); tb = e.Now() })
+	e.Go("c", func(p *Proc) { fb.Transfer(p, 1, 3, 100, "net"); tc = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 rates: A=50, B=50, C=50. At t=2 A and B finish (100 bytes at
+	// 50 B/s); C finished at t=2 as well.
+	if !almostEqual(ta, 2, 1e-9) || !almostEqual(tb, 2, 1e-9) || !almostEqual(tc, 2, 1e-9) {
+		t.Fatalf("ta=%v tb=%v tc=%v", ta, tb, tc)
+	}
+}
+
+func TestFabricLoopbackDoesNotContend(t *testing.T) {
+	e := NewEngine()
+	fb := NewFabric(e, 2, 100)
+	var tNet, tLoop float64
+	e.Go("net", func(p *Proc) { fb.Transfer(p, 0, 1, 100, "net"); tNet = e.Now() })
+	e.Go("loop", func(p *Proc) { fb.Transfer(p, 0, 0, 100, "net"); tLoop = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tNet, 1, 1e-9) {
+		t.Fatalf("network flow slowed by loopback: %v", tNet)
+	}
+	if tLoop >= tNet {
+		t.Fatalf("loopback (%v) should beat network (%v)", tLoop, tNet)
+	}
+}
+
+func TestFabricRxIntegral(t *testing.T) {
+	e := NewEngine()
+	fb := NewFabric(e, 2, 100)
+	e.Go("a", func(p *Proc) { fb.Transfer(p, 0, 1, 250, "net") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.RxIntegral(1); !almostEqual(got, 250, 1e-6) {
+		t.Fatalf("rx integral = %v, want 250", got)
+	}
+	if got := fb.TxIntegral(0); !almostEqual(got, 250, 1e-6) {
+		t.Fatalf("tx integral = %v, want 250", got)
+	}
+}
+
+// TestFabricConservation is a property test: for random flow sets, the
+// allocation must respect link capacities and be work-conserving enough
+// that every flow eventually completes.
+func TestFabricConservation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		nodes := 2 + rng.Intn(6)
+		fb := NewFabric(e, nodes, 100)
+		nflows := 1 + rng.Intn(20)
+		totalWant := 0.0
+		for i := 0; i < nflows; i++ {
+			src := rng.Intn(nodes)
+			dst := rng.Intn(nodes)
+			bytes := 10 + rng.Float64()*500
+			if src != dst {
+				totalWant += bytes
+			}
+			e.Go("f", func(p *Proc) { fb.Transfer(p, src, dst, bytes, "net") })
+		}
+		if err := e.Run(); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		totalGot := 0.0
+		for n := 0; n < nodes; n++ {
+			totalGot += fb.RxIntegral(n)
+		}
+		if !almostEqual(totalGot, totalWant, 1e-3) {
+			t.Logf("delivered %v want %v", totalGot, totalWant)
+			return false
+		}
+		// Rates never exceeded link capacity: verify via per-node integrals
+		// against elapsed time.
+		for n := 0; n < nodes; n++ {
+			if e.Now() > 0 && fb.RxIntegral(n) > 100*e.Now()+1e-6 {
+				t.Logf("node %d ingress exceeded capacity", n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFabricDeterminism re-runs a contended scenario and checks identical
+// completion times.
+func TestFabricDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		fb := NewFabric(e, 8, 117e6)
+		var times []float64
+		for i := 0; i < 20; i++ {
+			src, dst := i%8, (i*3+1)%8
+			bytes := float64(1+i) * 1e6
+			e.Go("f", func(p *Proc) {
+				fb.Transfer(p, src, dst, bytes, "net")
+				times = append(times, e.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic completion: %v vs %v", a[i], b[i])
+		}
+	}
+}

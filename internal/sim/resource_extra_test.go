@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+func TestPSResourceThrashPenalty(t *testing.T) {
+	// With allowance 2 and alpha 1.0, four flows run at capacity/(1+2) —
+	// total work takes 3x longer than the no-thrash case.
+	e := NewEngine()
+	r := NewPSResource(e, "disk", 100, 0)
+	r.ThrashAllowance = 2
+	r.ThrashAlpha = 1.0
+	for i := 0; i < 4; i++ {
+		e.Go("f", func(p *Proc) { r.Use(p, 100, "io") })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 400 units at effective 100/(1+1*2)=33.3 u/s = 12s.
+	if got := e.Now(); got < 11.9 || got > 12.1 {
+		t.Fatalf("thrashed completion at %v, want ~12", got)
+	}
+}
+
+func TestPSResourceThrashWithinAllowance(t *testing.T) {
+	e := NewEngine()
+	r := NewPSResource(e, "disk", 100, 0)
+	r.ThrashAllowance = 8
+	r.ThrashAlpha = 1.0
+	for i := 0; i < 4; i++ {
+		e.Go("f", func(p *Proc) { r.Use(p, 100, "io") })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Now(); got < 3.9 || got > 4.1 {
+		t.Fatalf("within allowance, completion at %v, want ~4", got)
+	}
+}
+
+func TestMemoryFreeLazyAndPressure(t *testing.T) {
+	e := NewEngine()
+	m := NewMemory("n", 1000)
+	m.MustAlloc(800)
+	if p := m.Pressure(); p != 0.8 {
+		t.Fatalf("pressure = %v", p)
+	}
+	var midUsed, midPressure float64
+	e.Go("t", func(p *Proc) {
+		m.FreeLazy(e, 800, 10)
+		p.Sleep(5)
+		midUsed = m.Used()
+		midPressure = m.Pressure()
+		p.Sleep(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if midUsed != 800 {
+		t.Fatalf("mid-linger Used = %v, want 800 (footprint persists)", midUsed)
+	}
+	if midPressure != 0 {
+		t.Fatalf("mid-linger Pressure = %v, want 0 (reclaimable)", midPressure)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("after linger Used = %v", m.Used())
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+// Semaphore is a counting semaphore in simulated time, used for task slots
+// (Hadoop map/reduce slots, Spark worker cores, DataMPI task slots).
+// Waiters are served FIFO.
+type Semaphore struct {
+	free int
+	cond Cond
+}
+
+// NewSemaphore creates a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{free: n} }
+
+// Acquire takes one permit, parking the proc until one is available.
+func (s *Semaphore) Acquire(p *Proc, reason string) {
+	for s.free == 0 {
+		s.cond.Wait(p, reason)
+	}
+	s.free--
+}
+
+// TryAcquire takes a permit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.free == 0 {
+		return false
+	}
+	s.free--
+	return true
+}
+
+// Release returns one permit and wakes a waiter.
+func (s *Semaphore) Release() {
+	s.free++
+	s.cond.Signal()
+}
+
+// Free returns the number of available permits.
+func (s *Semaphore) Free() int { return s.free }
