@@ -36,6 +36,7 @@ import (
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/mr"
 	"github.com/datampi/datampi-go/internal/rdd"
+	"github.com/datampi/datampi-go/internal/sched"
 )
 
 // Byte-size constants.
@@ -69,6 +70,25 @@ type (
 	File = dfs.File
 	// Profiler samples per-second cluster resource utilization.
 	Profiler = metrics.Profiler
+	// Queue admits several jobs onto one testbed so they run concurrently,
+	// contending for task slots under a scheduling policy.
+	Queue = sched.Queue
+	// Submission tracks one job admitted to a Queue.
+	Submission = sched.Submission
+	// Policy selects how concurrent jobs contend for slots (FIFO or Fair).
+	Policy = sched.Policy
+	// ConcurrentEngine is an engine that can co-schedule jobs through a
+	// Queue; the DataMPI, Hadoop and Spark engines all implement it.
+	ConcurrentEngine = sched.Engine
+)
+
+// Queue scheduling policies.
+const (
+	// FIFO gives earlier-submitted jobs strict priority for freed slots;
+	// later jobs backfill idle capacity.
+	FIFO = sched.FIFO
+	// Fair splits freed slots evenly between jobs with waiting tasks.
+	Fair = sched.Fair
 )
 
 // Format constants for Job.InputFormat.
@@ -120,6 +140,36 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 	}
 	cfg.Seed = tc.Seed + 1
 	return &Testbed{Cluster: c, FS: dfs.New(c, cfg)}
+}
+
+// NewQueue creates a job queue over the testbed: jobs submitted to it run
+// concurrently on the shared simulated cluster, with slot contention
+// arbitrated by policy. Call Run to drive all admitted jobs to completion.
+func (t *Testbed) NewQueue(policy Policy) *Queue {
+	return sched.NewQueue(t.Cluster.Eng, t.Cluster.N(), policy)
+}
+
+// RunAll co-schedules jobs on eng under policy and returns their results
+// in submission order. Every job must have FS set (the workload builders
+// do) and target the same testbed as eng.
+func RunAll(eng ConcurrentEngine, policy Policy, jobs ...Job) []Result {
+	if len(jobs) == 0 {
+		return nil
+	}
+	c := eng.Cluster()
+	for _, j := range jobs {
+		if j.FS == nil {
+			panic("datampi: RunAll needs jobs with FS set")
+		}
+		if j.FS.Cluster() != c {
+			panic("datampi: RunAll jobs must be staged on the engine's testbed")
+		}
+	}
+	q := sched.NewQueue(c.Eng, c.N(), policy)
+	for _, j := range jobs {
+		q.Submit(eng, j)
+	}
+	return q.Run()
 }
 
 // NewProfiler attaches a resource profiler sampling every interval

@@ -1,0 +1,3 @@
+module github.com/datampi/datampi-go
+
+go 1.24

@@ -33,6 +33,7 @@ import (
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/mpi"
+	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
 )
 
@@ -97,13 +98,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine runs DataMPI Common-mode jobs. It implements job.Engine.
+// Engine runs DataMPI Common-mode jobs. It implements job.Engine
+// (exclusive single-job runs) and sched.Engine (job admission onto a
+// shared testbed).
 type Engine struct {
 	C    *cluster.Cluster
 	FS   *dfs.FS
 	Cfg  Config
 	Prof *metrics.Profiler
+
+	daemons   *sched.Residency // per-node runtime residency across jobs
+	profiling sched.Profiling  // refcounted sampling across jobs
 }
+
+var _ sched.Engine = (*Engine)(nil)
 
 // New creates a DataMPI engine over a filesystem.
 func New(fs *dfs.FS, cfg Config) *Engine {
@@ -113,42 +121,67 @@ func New(fs *dfs.FS, cfg Config) *Engine {
 // Name implements job.Engine.
 func (e *Engine) Name() string { return "DataMPI" }
 
+// Cluster implements sched.Engine.
+func (e *Engine) Cluster() *cluster.Cluster { return e.C }
+
 func (e *Engine) scale() float64 { return e.FS.Config().Scale }
 
-// Run executes a Common-mode job: the equivalent of one MapReduce round,
-// with spec.Map as the O function and spec.Reduce as the A function.
+// Run executes a Common-mode job exclusively: the equivalent of one
+// MapReduce round, with spec.Map as the O function and spec.Reduce as the
+// A function. It drives the simulation engine to completion, so the
+// cluster must not have other foreground work; co-schedule jobs through a
+// sched.Queue instead.
 func (e *Engine) Run(spec job.Spec) job.Result {
+	eng := e.C.Eng
+	res := new(job.Result)
+	completed := false
+	e.submit(spec, sched.Solo(e.C.N()), res, func(job.Result) { completed = true })
+	if err := eng.Run(); err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		if !completed {
+			// The driver never reached its cleanup (simulation deadlock):
+			// release what submit charged so the engine stays reusable.
+			e.profiling.Stop(e.Prof)
+			e.releaseDaemons()
+		}
+	}
+	// Exclusive-run accounting: the job ends when the simulation drains,
+	// and the A phase extends to that point.
+	res.End = eng.Now()
+	res.Elapsed = res.End - res.Start
+	if o, ok := res.Phases["O"]; ok {
+		res.Phases["A"] = res.End - (res.Start + o)
+	}
+	return *res
+}
+
+// Submit implements sched.Engine: it admits the job onto the shared
+// simulation without driving the event loop.
+func (e *Engine) Submit(spec job.Spec, ctl *sched.JobControl, done func(job.Result)) {
+	e.submit(spec, ctl, new(job.Result), done)
+}
+
+// submit spawns the job's driver and task processes. done (optional) runs
+// in simulation context when the driver completes.
+func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, done func(job.Result)) {
 	spec.Normalize()
-	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	*res = job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
 	eng := e.C.Eng
 	res.Start = eng.Now()
-
-	for i := 0; i < e.C.N(); i++ {
-		e.C.Node(i).Mem.MustAlloc(e.Cfg.DaemonMem)
-	}
-	defer func() {
-		for i := 0; i < e.C.N(); i++ {
-			e.C.Node(i).Mem.Free(e.Cfg.DaemonMem)
-		}
-	}()
-
-	if e.Prof != nil {
-		e.Prof.WaitIOFunc = func(node int) int {
-			return eng.CountBlocked(func(p *sim.Proc) bool {
-				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
-			})
-		}
-		e.Prof.Start()
-	}
 
 	blocks := spec.Input.Blocks
 	if len(blocks) == 0 {
 		res.Err = fmt.Errorf("datampi: job %s has empty input", spec.Name)
-		if e.Prof != nil {
-			e.Prof.Stop()
+		if done != nil {
+			done(*res)
 		}
-		return res
+		return
 	}
+
+	e.acquireDaemons()
+	e.profiling.Start(e.Prof, eng)
 
 	nO := e.Cfg.TasksPerNode * e.C.N()
 	if nO > len(blocks) {
@@ -157,6 +190,20 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 	nA := spec.Reducers
 	world := e.buildWorld(nO, nA)
 	splitsOf := e.assignSplits(blocks, nO, world)
+
+	// Task slots: with a single job both pools are at least as wide as the
+	// communicators mpirun lays out (the A pool widens when Reducers
+	// exceeds TasksPerNode*N, matching the all-ranks-at-once launch), so
+	// acquisition never blocks; under a shared queue they make concurrent
+	// DataMPI jobs contend per node. Pool sizes latch on first use, so a
+	// later job with a denser A layout runs its extra ranks in waves.
+	oSlots := ctl.Pool("dm-o", e.Cfg.TasksPerNode)
+	aPerNode := e.Cfg.TasksPerNode
+	if need := (nA + e.C.N() - 1) / e.C.N(); need > aPerNode {
+		aPerNode = need
+	}
+	aSlots := ctl.Pool("dm-a", aPerNode)
+	me := ctl.Handle()
 
 	var jobErr error
 	fail := func(err error) {
@@ -178,7 +225,10 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 			o := o
 			eng.Go(fmt.Sprintf("O-%d", o), func(p *sim.Proc) {
 				defer wg.Done()
-				p.Node = world.NodeOf(o)
+				node := world.NodeOf(o)
+				p.Node = node
+				oSlots.Acquire(p, node, me, "slot")
+				defer oSlots.Release(node, me)
 				if err := e.runOTask(p, &spec, world, o, nO, nA, splitsOf[o]); err != nil {
 					fail(err)
 				} else {
@@ -195,8 +245,11 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 			a := a
 			eng.Go(fmt.Sprintf("A-%d", a), func(p *sim.Proc) {
 				defer wg.Done()
-				p.Node = world.NodeOf(nO + a)
-				if err := e.runATask(p, &spec, world, nO, a, totalSplits, &res); err != nil {
+				node := world.NodeOf(nO + a)
+				p.Node = node
+				aSlots.Acquire(p, node, me, "slot")
+				defer aSlots.Release(node, me)
+				if err := e.runATask(p, &spec, world, nO, a, totalSplits, res); err != nil {
 					fail(err)
 				} else {
 					res.AddCounter("a_tasks", 1)
@@ -205,23 +258,31 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 		}
 		wg.Wait(driver)
 		driver.Sleep(e.Cfg.JobFinalize)
-		if e.Prof != nil {
-			e.Prof.Stop()
+		res.End = eng.Now()
+		res.Elapsed = res.End - res.Start
+		if oPhaseEnd > 0 {
+			res.Phases["O"] = oPhaseEnd - res.Start
+			res.Phases["A"] = res.End - oPhaseEnd
+		}
+		res.Err = jobErr
+		e.profiling.Stop(e.Prof)
+		e.releaseDaemons()
+		if done != nil {
+			done(*res)
 		}
 	})
-
-	if err := eng.Run(); err != nil && jobErr == nil {
-		jobErr = err
-	}
-	res.End = eng.Now()
-	res.Elapsed = res.End - res.Start
-	if oPhaseEnd > 0 {
-		res.Phases["O"] = oPhaseEnd - res.Start
-		res.Phases["A"] = res.End - oPhaseEnd
-	}
-	res.Err = jobErr
-	return res
 }
+
+// acquireDaemons charges the per-node runtime residency when the first
+// concurrent job starts; releaseDaemons frees it with the last.
+func (e *Engine) acquireDaemons() {
+	if e.daemons == nil {
+		e.daemons = sched.NewResidency(e.C)
+	}
+	e.daemons.Acquire(e.Cfg.DaemonMem)
+}
+
+func (e *Engine) releaseDaemons() { e.daemons.Release() }
 
 // buildWorld lays out nO O-ranks followed by nA A-ranks, each side spread
 // round-robin across nodes.
@@ -238,30 +299,13 @@ func (e *Engine) buildWorld(nO, nA int) *mpi.World {
 
 // assignSplits maps input blocks to O ranks: blocks go to nodes with
 // locality preference and balanced waves, then round-robin over that
-// node's local O ranks.
+// node's local O ranks (see sched.Placer.PlaceOnRanks).
 func (e *Engine) assignSplits(blocks []*dfs.Block, nO int, w *mpi.World) [][]*dfs.Block {
-	ranksOnNode := make([][]int, e.C.N())
+	rankNode := make([]int, nO)
 	for o := 0; o < nO; o++ {
-		n := w.NodeOf(o)
-		ranksOnNode[n] = append(ranksOnNode[n], o)
+		rankNode[o] = w.NodeOf(o)
 	}
-	nodeOf := job.AssignBlocks(blocks, e.C.N())
-	next := make([]int, e.C.N())
-	out := make([][]*dfs.Block, nO)
-	for i, blk := range blocks {
-		node := nodeOf[i]
-		ranks := ranksOnNode[node]
-		if len(ranks) == 0 {
-			// Node hosts no O rank (more nodes than ranks): spill over to
-			// rank i % nO.
-			out[i%nO] = append(out[i%nO], blk)
-			continue
-		}
-		r := ranks[next[node]%len(ranks)]
-		next[node]++
-		out[r] = append(out[r], blk)
-	}
-	return out
+	return sched.Placer{Nodes: e.C.N()}.PlaceOnRanks(blocks, rankNode)
 }
 
 // runOTask processes this rank's splits: for each split, the input read,

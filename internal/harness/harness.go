@@ -17,6 +17,7 @@ import (
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/mr"
 	"github.com/datampi/datampi-go/internal/rdd"
+	"github.com/datampi/datampi-go/internal/sched"
 )
 
 // Options tune an experiment run.
@@ -234,6 +235,18 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 		r.Engine = e
 	}
 	return r
+}
+
+// Sched returns the rig's engine as a sched.Engine for queue submission.
+func (r *Rig) Sched() sched.Engine {
+	switch r.FW {
+	case Hadoop:
+		return r.MR
+	case Spark:
+		return r.RDD
+	default:
+		return r.DM
+	}
 }
 
 // fmtSecs renders seconds for table cells.

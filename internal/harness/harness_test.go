@@ -5,11 +5,12 @@ import (
 	"testing"
 )
 
-// expected experiment ids: one per paper table/figure.
+// expected experiment ids: one per paper table/figure, plus the
+// beyond-the-paper job-mix experiment.
 var wantIDs = []string{
 	"fig2a", "fig2b", "fig3a", "fig3b", "fig3c", "fig3d",
 	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
-	"table1", "table2",
+	"table1", "table2", "mix1",
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {

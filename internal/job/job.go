@@ -248,43 +248,6 @@ func EncodeTextOutput(pairs []kv.Pair) []byte {
 	return buf.Bytes()
 }
 
-// AssignBlocks maps each input block to a node, preferring replica
-// holders (data locality) but capping every node at ceil(len/n) blocks so
-// task waves stay balanced — schedulers trade a little locality for
-// balance, which is what keeps the paper's map phases to a single wave.
-func AssignBlocks(blocks []*dfs.Block, n int) []int {
-	assign := make([]int, len(blocks))
-	load := make([]int, n)
-	cap := (len(blocks) + n - 1) / n
-	for i, blk := range blocks {
-		best := -1
-		for _, loc := range blk.Locations {
-			if loc < 0 || loc >= n || load[loc] >= cap {
-				continue
-			}
-			if best < 0 || load[loc] < load[best] {
-				best = loc
-			}
-		}
-		if best < 0 {
-			for node := 0; node < n; node++ {
-				if load[node] >= cap {
-					continue
-				}
-				if best < 0 || load[node] < load[best] {
-					best = node
-				}
-			}
-		}
-		if best < 0 {
-			best = i % n // cannot happen with a correct cap; stay safe
-		}
-		assign[i] = best
-		load[best]++
-	}
-	return assign
-}
-
 // ReadTextOutput gathers a job's output part files (files whose names
 // start with prefix) and parses TextOutputFormat lines back into pairs.
 // It reads metadata directly without charging simulated time; intended for

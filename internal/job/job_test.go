@@ -3,9 +3,7 @@ package job
 import (
 	"bytes"
 	"compress/gzip"
-	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/dfs"
@@ -100,60 +98,6 @@ func TestEmitScale(t *testing.T) {
 	sat := Spec{FS: fs, SaturatingIntermediate: true}
 	if got := sat.EmitScale(); got != 1 {
 		t.Fatalf("saturating EmitScale = %v, want 1", got)
-	}
-}
-
-func TestAssignBlocksBalancedAndLocal(t *testing.T) {
-	c := cluster.New(cluster.DefaultHardware())
-	fs := dfs.New(c, dfs.Config{BlockSize: 1024, Replication: 3, Scale: 1, Seed: 5})
-	f := fs.Preload("/f", make([]byte, 32*1024)) // 32 blocks over 8 nodes
-	assign := AssignBlocks(f.Blocks, c.N())
-	load := make([]int, c.N())
-	local := 0
-	for i, n := range assign {
-		load[n]++
-		for _, loc := range f.Blocks[i].Locations {
-			if loc == n {
-				local++
-				break
-			}
-		}
-	}
-	for n, l := range load {
-		if l != 4 {
-			t.Fatalf("node %d has %d blocks, want 4 (balanced): %v", n, l, load)
-		}
-	}
-	if local < len(assign)*3/4 {
-		t.Fatalf("only %d/%d assignments local", local, len(assign))
-	}
-}
-
-func TestAssignBlocksProperty(t *testing.T) {
-	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}
-	prop := func(seed int64, nBlocks uint8) bool {
-		c := cluster.New(cluster.DefaultHardware())
-		fs := dfs.New(c, dfs.Config{BlockSize: 256, Replication: 3, Scale: 1, Seed: seed})
-		n := int(nBlocks)%100 + 1
-		f := fs.Preload("/f", make([]byte, 256*n))
-		assign := AssignBlocks(f.Blocks, c.N())
-		load := make([]int, c.N())
-		for _, a := range assign {
-			if a < 0 || a >= c.N() {
-				return false
-			}
-			load[a]++
-		}
-		capLimit := (len(f.Blocks) + c.N() - 1) / c.N()
-		for _, l := range load {
-			if l > capLimit {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(prop, cfg); err != nil {
-		t.Fatal(err)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
 )
 
@@ -84,13 +85,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is the Hadoop-like MapReduce engine.
+// Engine is the Hadoop-like MapReduce engine. It implements both
+// job.Engine (exclusive single-job runs) and sched.Engine (job admission
+// onto a shared testbed).
 type Engine struct {
 	C    *cluster.Cluster
 	FS   *dfs.FS
 	Cfg  Config
 	Prof *metrics.Profiler // optional resource profiler
+
+	daemons   *sched.Residency // TaskTracker/DataNode residency across jobs
+	profiling sched.Profiling  // refcounted sampling across jobs
 }
+
+var _ sched.Engine = (*Engine)(nil)
 
 // New creates an engine over a cluster and filesystem.
 func New(fs *dfs.FS, cfg Config) *Engine {
@@ -99,6 +107,9 @@ func New(fs *dfs.FS, cfg Config) *Engine {
 
 // Name implements job.Engine.
 func (e *Engine) Name() string { return "Hadoop" }
+
+// Cluster implements sched.Engine.
+func (e *Engine) Cluster() *cluster.Cluster { return e.C }
 
 // scale returns nominal bytes per actual byte.
 func (e *Engine) scale() float64 { return e.FS.Config().Scale }
@@ -111,48 +122,67 @@ type mapOutput struct {
 	nominal []float64   // nominal bytes per partition
 }
 
-// Run executes the job and returns its result. It drives the simulation
-// engine to completion, so the cluster must not have other foreground work.
+// Run executes the job exclusively and returns its result. It drives the
+// simulation engine to completion, so the cluster must not have other
+// foreground work; co-schedule jobs through a sched.Queue instead.
 func (e *Engine) Run(spec job.Spec) job.Result {
+	eng := e.C.Eng
+	res := new(job.Result)
+	completed := false
+	e.submit(spec, sched.Solo(e.C.N()), res, func(job.Result) { completed = true })
+	if err := eng.Run(); err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		if !completed {
+			// The driver never reached its cleanup (simulation deadlock):
+			// release what submit charged so the engine stays reusable.
+			e.profiling.Stop(e.Prof)
+			e.releaseDaemons()
+		}
+	}
+	// Exclusive-run accounting: the job ends when the simulation drains
+	// (trailing lazy heap frees included), and the reduce phase extends to
+	// that point.
+	res.End = eng.Now()
+	res.Elapsed = res.End - res.Start
+	if m, ok := res.Phases["map"]; ok {
+		res.Phases["reduce"] = res.End - (res.Start + m)
+	}
+	return *res
+}
+
+// Submit implements sched.Engine: it admits the job onto the shared
+// simulation without driving the event loop.
+func (e *Engine) Submit(spec job.Spec, ctl *sched.JobControl, done func(job.Result)) {
+	e.submit(spec, ctl, new(job.Result), done)
+}
+
+// submit spawns the job's driver and task processes. done (optional) runs
+// in simulation context when the driver completes.
+func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, done func(job.Result)) {
 	spec.Normalize()
-	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	*res = job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
 	eng := e.C.Eng
 	res.Start = eng.Now()
-
-	// Daemon residency for the duration of the job.
-	for i := 0; i < e.C.N(); i++ {
-		e.C.Node(i).Mem.MustAlloc(e.Cfg.DaemonMem)
-	}
-	defer func() {
-		for i := 0; i < e.C.N(); i++ {
-			e.C.Node(i).Mem.Free(e.Cfg.DaemonMem)
-		}
-	}()
-
-	if e.Prof != nil {
-		e.Prof.WaitIOFunc = func(node int) int {
-			return eng.CountBlocked(func(p *sim.Proc) bool {
-				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
-			})
-		}
-		e.Prof.Start()
-		defer e.Prof.Stop()
-	}
 
 	blocks := spec.Input.Blocks
 	nMaps := len(blocks)
 	if nMaps == 0 {
 		res.Err = fmt.Errorf("mr: job %s has empty input", spec.Name)
-		return res
+		if done != nil {
+			done(*res)
+		}
+		return
 	}
-	assignment := e.assignMaps(blocks)
 
-	mapSlots := make([]*sim.Semaphore, e.C.N())
-	reduceSlots := make([]*sim.Semaphore, e.C.N())
-	for i := range mapSlots {
-		mapSlots[i] = sim.NewSemaphore(e.Cfg.TasksPerNode)
-		reduceSlots[i] = sim.NewSemaphore(e.Cfg.TasksPerNode)
-	}
+	e.acquireDaemons()
+	e.profiling.Start(e.Prof, eng)
+
+	assignment := sched.Placer{Nodes: e.C.N()}.Place(blocks)
+	mapSlots := ctl.Pool("mr-map", e.Cfg.TasksPerNode)
+	reduceSlots := ctl.Pool("mr-reduce", e.Cfg.TasksPerNode)
+	me := ctl.Handle()
 
 	outputs := make([]*mapOutput, 0, nMaps)
 	mapsDone := 0
@@ -167,6 +197,20 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 			jobErr = err
 		}
 		outputsCond.Broadcast() // unblock reducers waiting for map outputs
+	}
+	finish := func() {
+		res.End = eng.Now()
+		res.Elapsed = res.End - res.Start
+		if mapPhaseEnd > 0 {
+			res.Phases["map"] = mapPhaseEnd - res.Start
+			res.Phases["reduce"] = res.End - mapPhaseEnd
+		}
+		res.Err = jobErr
+		e.profiling.Stop(e.Prof)
+		e.releaseDaemons()
+		if done != nil {
+			done(*res)
+		}
 	}
 
 	eng.Go("jobtracker:"+spec.Name, func(driver *sim.Proc) {
@@ -186,8 +230,8 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 			eng.Go(fmt.Sprintf("map-%d", mi), func(p *sim.Proc) {
 				defer jobWG.Done()
 				p.Node = node
-				mapSlots[node].Acquire(p, "slot")
-				defer mapSlots[node].Release()
+				mapSlots.Acquire(p, node, me, "slot")
+				defer mapSlots.Release(node, me)
 				out, err := e.runMapTask(p, &spec, blocks[mi], node, nReduce)
 				if err != nil {
 					fail(err)
@@ -209,9 +253,7 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 		if nReduce == 0 {
 			jobWG.Wait(driver)
 			driver.Sleep(e.Cfg.JobCommit)
-			if e.Prof != nil {
-				e.Prof.Stop()
-			}
+			finish()
 			return
 		}
 
@@ -234,9 +276,9 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 				if jobErr != nil {
 					return
 				}
-				reduceSlots[node].Acquire(p, "slot")
-				defer reduceSlots[node].Release()
-				if err := e.runReduceTask(p, &spec, ri, node, nMaps, &outputs, &outputsCond, failed, &res); err != nil {
+				reduceSlots.Acquire(p, node, me, "slot")
+				defer reduceSlots.Release(node, me)
+				if err := e.runReduceTask(p, &spec, ri, node, nMaps, &outputs, &outputsCond, failed, res); err != nil {
 					fail(err)
 				} else {
 					res.AddCounter("reduces", 1)
@@ -245,29 +287,20 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 		}
 		jobWG.Wait(driver)
 		driver.Sleep(e.Cfg.JobCommit)
-		if e.Prof != nil {
-			e.Prof.Stop()
-		}
+		finish()
 	})
-
-	if err := eng.Run(); err != nil && jobErr == nil {
-		jobErr = err
-	}
-	res.End = eng.Now()
-	res.Elapsed = res.End - res.Start
-	if mapPhaseEnd > 0 {
-		res.Phases["map"] = mapPhaseEnd - res.Start
-		res.Phases["reduce"] = res.End - mapPhaseEnd
-	}
-	res.Err = jobErr
-	return res
 }
 
-// assignMaps gives each block a node with locality preference and
-// balanced waves (see job.AssignBlocks).
-func (e *Engine) assignMaps(blocks []*dfs.Block) []int {
-	return job.AssignBlocks(blocks, e.C.N())
+// acquireDaemons charges the per-node TaskTracker/DataNode residency when
+// the first concurrent job starts; releaseDaemons frees it with the last.
+func (e *Engine) acquireDaemons() {
+	if e.daemons == nil {
+		e.daemons = sched.NewResidency(e.C)
+	}
+	e.daemons.Acquire(e.Cfg.DaemonMem)
 }
+
+func (e *Engine) releaseDaemons() { e.daemons.Release() }
 
 // runMapTask executes one map task: JVM launch, streaming split read
 // overlapped with the map function and sort/spill I/O, then the final

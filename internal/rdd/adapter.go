@@ -3,17 +3,16 @@ package rdd
 import (
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/sched"
 )
 
-// Run implements job.Engine by translating the engine-agnostic spec into
-// an RDD lineage: textFile → flatMap → {reduceByKey | sortByKey} → save.
-// Range-partitioned specs become SortByKey (total order, OOM-prone);
-// hash-partitioned specs become ReduceByKey (streaming aggregation).
-func (e *Engine) Run(spec job.Spec) job.Result {
-	spec.Normalize()
-	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
-	res.Start = e.C.Eng.Now()
+var _ sched.Engine = (*Engine)(nil)
 
+// lineage translates the engine-agnostic spec into an RDD lineage:
+// textFile → flatMap → {reduceByKey | sortByKey} → final. Range-
+// partitioned specs become SortByKey (total order, OOM-prone);
+// hash-partitioned specs become ReduceByKey (streaming aggregation).
+func (e *Engine) lineage(spec *job.Spec) *RDD {
 	var src *RDD
 	if spec.InputFormat == job.Text {
 		src = e.TextFile(spec.Input)
@@ -22,18 +21,26 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 	}
 	mapped := src.FlatMapKV(spec.Map, spec.MapCPUFactor*spec.CPUAdjust(e.Name()))
 
-	var final *RDD
 	if spec.Reducers <= 0 {
-		final = mapped // map-only pipeline
-	} else if _, isRange := spec.Part.(*kv.RangePartitioner); isRange {
-		final = mapped.SortByKey(spec.Part, spec.Reduce, spec.Reducers)
-	} else if spec.Combine != nil {
-		final = mapped.ReduceByKey(spec.Combine, spec.Reduce, spec.Reducers)
-	} else {
-		final = mapped.GroupByKey(spec.Reduce, spec.Reducers)
+		return mapped // map-only pipeline
 	}
+	if _, isRange := spec.Part.(*kv.RangePartitioner); isRange {
+		return mapped.SortByKey(spec.Part, spec.Reduce, spec.Reducers)
+	}
+	if spec.Combine != nil {
+		return mapped.ReduceByKey(spec.Combine, spec.Reduce, spec.Reducers)
+	}
+	return mapped.GroupByKey(spec.Reduce, spec.Reducers)
+}
 
-	jr := final.SaveAsTextFile(spec.Output)
+// Run implements job.Engine: it executes the spec's lineage exclusively,
+// driving the simulation to completion.
+func (e *Engine) Run(spec job.Spec) job.Result {
+	spec.Normalize()
+	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	res.Start = e.C.Eng.Now()
+
+	jr := e.lineage(&spec).SaveAsTextFile(spec.Output)
 	res.End = e.C.Eng.Now()
 	res.Elapsed = jr.Elapsed
 	res.Err = jr.Err
@@ -41,6 +48,27 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 		res.Phases[stageName(i)] = d
 	}
 	return res
+}
+
+// Submit implements sched.Engine: it admits the spec's lineage onto the
+// shared simulation without driving the event loop.
+func (e *Engine) Submit(spec job.Spec, ctl *sched.JobControl, done func(job.Result)) {
+	spec.Normalize()
+	res := job.Result{Engine: e.Name(), Job: spec.Name, Phases: map[string]float64{}}
+	res.Start = e.C.Eng.Now()
+
+	final := e.lineage(&spec)
+	e.submitAction(final, spec.Output, nil, ctl, new(JobResult), func(jr JobResult) {
+		res.End = e.C.Eng.Now()
+		res.Elapsed = jr.Elapsed
+		res.Err = jr.Err
+		for i, d := range jr.Stages {
+			res.Phases[stageName(i)] = d
+		}
+		if done != nil {
+			done(res)
+		}
+	})
 }
 
 func stageName(i int) string {

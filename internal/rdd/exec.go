@@ -6,6 +6,7 @@ import (
 	"github.com/datampi/datampi-go/internal/dfs"
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
 )
 
@@ -83,49 +84,62 @@ func (r *RDD) Collect() ([]kv.Pair, JobResult) {
 	return out, res
 }
 
-// runAction executes the staged computation of target inside the
-// simulation, optionally writing output or collecting results.
+// runAction executes the staged computation of target exclusively inside
+// the simulation, optionally writing output or collecting results. It
+// drives the simulation to completion; co-schedule actions through a
+// sched.Queue instead.
 func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)) JobResult {
 	eng := e.C.Eng
+	res := new(JobResult)
+	start := eng.Now()
+	completed := false
+	e.submitAction(target, outPath, collect, sched.Solo(e.C.N()), res, func(JobResult) { completed = true })
+	if err := eng.Run(); err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		if !completed {
+			// The driver never reached its cleanup (simulation deadlock):
+			// release what submitAction charged so the engine stays usable.
+			e.profiling.Stop(e.Prof)
+			e.releaseApp()
+		}
+	}
+	// Exclusive-run accounting: the action ends when the simulation drains
+	// (trailing lazy GC frees included).
+	res.Elapsed = eng.Now() - start
+	return *res
+}
+
+// submitAction spawns the action's driver and task processes. done
+// (optional) runs in simulation context when the driver completes.
+func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partData),
+	ctl *sched.JobControl, res *JobResult, done func(JobResult)) {
+
+	eng := e.C.Eng
 	cfg := &e.Cfg
-	res := JobResult{}
 	start := eng.Now()
 
-	for i := 0; i < e.C.N(); i++ {
-		e.C.Node(i).Mem.MustAlloc(cfg.DaemonMem + float64(cfg.WorkersPerNode)*cfg.ExecutorBaseMem)
-	}
-	defer func() {
-		for i := 0; i < e.C.N(); i++ {
-			e.C.Node(i).Mem.Free(cfg.DaemonMem + float64(cfg.WorkersPerNode)*cfg.ExecutorBaseMem)
-		}
-	}()
-
-	if e.Prof != nil {
-		e.Prof.WaitIOFunc = func(node int) int {
-			return eng.CountBlocked(func(p *sim.Proc) bool {
-				return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
-			})
-		}
-		e.Prof.Start()
-	}
+	e.acquireApp()
+	e.profiling.Start(e.Prof, eng)
 
 	stages := plan(target)
-	slots := make([]*sim.Semaphore, e.C.N())
-	for i := range slots {
-		slots[i] = sim.NewSemaphore(cfg.WorkersPerNode)
-	}
+	slots := ctl.Pool("spark-worker", cfg.WorkersPerNode)
+	me := ctl.Handle()
 
-	var jobErr error
 	var stageEnds []float64
 	eng.Go("spark-driver", func(driver *sim.Proc) {
 		if !e.appStarted {
-			driver.Sleep(cfg.AppLaunch)
+			// Latch before sleeping so concurrently submitted actions do
+			// not each pay the one-off SparkContext launch cost.
 			e.appStarted = true
+			driver.Sleep(cfg.AppLaunch)
 		}
+		var jobErr error
 		var current []partData
 		for si, st := range stages {
 			isLast := si == len(stages)-1
-			out, err := e.runStage(driver, st, current, slots, isLast, outPath)
+			out, err := e.runStage(driver, st, current, slots, me, isLast, outPath)
 			if err != nil {
 				jobErr = err
 				break
@@ -137,27 +151,36 @@ func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)
 			collect(current)
 		}
 		driver.Sleep(cfg.JobFinalize)
-		if e.Prof != nil {
-			e.Prof.Stop()
+		res.Elapsed = eng.Now() - start
+		prev := start
+		for _, t := range stageEnds {
+			res.Stages = append(res.Stages, t-prev)
+			prev = t
+		}
+		res.Err = jobErr
+		e.profiling.Stop(e.Prof)
+		e.releaseApp()
+		if done != nil {
+			done(*res)
 		}
 	})
-	if err := eng.Run(); err != nil && jobErr == nil {
-		jobErr = err
-	}
-	res.Elapsed = eng.Now() - start
-	prev := start
-	for _, t := range stageEnds {
-		res.Stages = append(res.Stages, t-prev)
-		prev = t
-	}
-	res.Err = jobErr
-	return res
 }
+
+// acquireApp charges the per-node daemon and executor base residency when
+// the first concurrent action starts; releaseApp frees it with the last.
+func (e *Engine) acquireApp() {
+	if e.app == nil {
+		e.app = sched.NewResidency(e.C)
+	}
+	e.app.Acquire(e.Cfg.DaemonMem + float64(e.Cfg.WorkersPerNode)*e.Cfg.ExecutorBaseMem)
+}
+
+func (e *Engine) releaseApp() { e.app.Release() }
 
 // runStage executes one stage's tasks over worker slots and returns the
 // materialized output partitions (input to the next stage).
 func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
-	slots []*sim.Semaphore, isLast bool, outPath string) ([]partData, error) {
+	slots *sched.SlotPool, me *sched.JobHandle, isLast bool, outPath string) ([]partData, error) {
 
 	eng := e.C.Eng
 	cfg := &e.Cfg
@@ -184,7 +207,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 		if len(blocks) == 0 {
 			return nil, fmt.Errorf("rdd: empty input file")
 		}
-		nodeOf := job.AssignBlocks(blocks, e.C.N())
+		nodeOf := sched.Placer{Nodes: e.C.N()}.Place(blocks)
 		for i, blk := range blocks {
 			tasks = append(tasks, taskIn{node: nodeOf[i], blk: blk})
 		}
@@ -225,8 +248,8 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 				return
 			}
 			p.Node = tin.node
-			slots[tin.node].Acquire(p, "slot")
-			defer slots[tin.node].Release()
+			slots.Acquire(p, tin.node, me, "slot")
+			defer slots.Release(tin.node, me)
 			p.Sleep(cfg.TaskDispatch)
 			out, err := e.runTask(p, st, tin.node, tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti)
 			if err != nil {

@@ -20,6 +20,7 @@ import (
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/sched"
 )
 
 // Config is the Spark cost/configuration profile.
@@ -89,6 +90,8 @@ type Engine struct {
 	Prof *metrics.Profiler
 
 	appStarted bool
+	app        *sched.Residency // executor residency across actions
+	profiling  sched.Profiling  // refcounted sampling across actions
 }
 
 // New creates an engine (a SparkContext, in effect) over a filesystem.
@@ -98,6 +101,9 @@ func New(fs *dfs.FS, cfg Config) *Engine {
 
 // Name implements job.Engine.
 func (e *Engine) Name() string { return "Spark" }
+
+// Cluster implements sched.Engine.
+func (e *Engine) Cluster() *cluster.Cluster { return e.C }
 
 func (e *Engine) scale() float64 { return e.FS.Config().Scale }
 

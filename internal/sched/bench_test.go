@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/dfs"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// BenchmarkPlace10kBlocks measures the placement hot path: 10k blocks
+// (3 replicas each) assigned across the paper's 8-node testbed.
+func BenchmarkPlace10kBlocks(b *testing.B) {
+	blocks := make([]*dfs.Block, 10000)
+	for i := range blocks {
+		blocks[i] = &dfs.Block{
+			ID:        int64(i),
+			Locations: []int{i % 8, (i + 3) % 8, (i + 5) % 8},
+		}
+	}
+	pl := Placer{Nodes: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Place(blocks)
+	}
+}
+
+// BenchmarkSlotPoolChurn measures acquire/release churn through one
+// contended pool: 10k short tasks from two jobs over 8 nodes.
+func BenchmarkSlotPoolChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		pool := NewSlotPool(Fair, 8, 4)
+		h1 := &JobHandle{name: "a", seq: 0, weight: 1}
+		h2 := &JobHandle{name: "b", seq: 1, weight: 1}
+		for tsk := 0; tsk < 10000; tsk++ {
+			h := h1
+			if tsk%2 == 1 {
+				h = h2
+			}
+			h, node := h, tsk%8
+			eng.Go("t", func(p *sim.Proc) {
+				pool.Acquire(p, node, h, "slot")
+				p.Sleep(1)
+				pool.Release(node, h)
+			})
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

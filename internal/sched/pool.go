@@ -1,0 +1,147 @@
+package sched
+
+import "github.com/datampi/datampi-go/internal/sim"
+
+// SlotPool is a set of per-node task slots in simulated time. Within one
+// job, waiters are served FIFO, exactly like the per-engine semaphores the
+// pool replaces; across jobs the pool's policy picks which waiting job a
+// freed slot goes to. A freed slot is assigned to the chosen waiter before
+// it wakes, so a granted slot can never be stolen by a newcomer.
+type SlotPool struct {
+	policy  Policy
+	perNode int
+	free    []int
+	queues  [][]poolWaiter
+	held    map[*JobHandle]int
+	arrival int64
+}
+
+type poolWaiter struct {
+	p   *sim.Proc
+	h   *JobHandle
+	seq int64 // arrival order, kept across grants for FIFO-within-job
+}
+
+// NewSlotPool creates a pool with perNode slots on each of nodes nodes.
+func NewSlotPool(policy Policy, nodes, perNode int) *SlotPool {
+	if nodes <= 0 || perNode <= 0 {
+		panic("sched: SlotPool needs at least one node and one slot per node")
+	}
+	return &SlotPool{
+		policy:  policy,
+		perNode: perNode,
+		free:    newFilled(nodes, perNode),
+		queues:  make([][]poolWaiter, nodes),
+		held:    make(map[*JobHandle]int),
+	}
+}
+
+func newFilled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// PerNode returns the configured slots per node.
+func (sp *SlotPool) PerNode() int { return sp.perNode }
+
+// Free returns the currently free slots on node.
+func (sp *SlotPool) Free(node int) int { return sp.free[node] }
+
+// Held returns how many of the pool's slots h currently holds.
+func (sp *SlotPool) Held(h *JobHandle) int { return sp.held[h] }
+
+// Acquire takes one slot on node for job h, parking the proc until the
+// pool grants one under its policy. reason labels the blocked state for
+// metrics attribution.
+func (sp *SlotPool) Acquire(p *sim.Proc, node int, h *JobHandle, reason string) {
+	// Invariant: a non-empty queue implies no free slots (grant drains the
+	// queue whenever a slot frees), so the fast path cannot overtake a
+	// waiter.
+	if sp.free[node] > 0 {
+		sp.free[node]--
+		sp.held[h]++
+		return
+	}
+	sp.queues[node] = append(sp.queues[node], poolWaiter{p: p, h: h, seq: sp.arrival})
+	sp.arrival++
+	p.Park(reason)
+}
+
+// Release returns one of h's slots on node, granting it to the best
+// waiter, if any, under the pool's policy.
+func (sp *SlotPool) Release(node int, h *JobHandle) {
+	if sp.held[h] <= 0 {
+		panic("sched: Release without matching Acquire")
+	}
+	sp.held[h]--
+	sp.free[node]++
+	sp.grant(node)
+}
+
+func (sp *SlotPool) grant(node int) {
+	q := sp.queues[node]
+	if sp.free[node] == 0 || len(q) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if sp.better(q[i], q[best]) {
+			best = i
+		}
+	}
+	w := q[best]
+	sp.queues[node] = append(q[:best], q[best+1:]...)
+	sp.free[node]--
+	sp.held[w.h]++
+	w.p.Unpark()
+}
+
+// better reports whether waiter a should be granted before waiter b.
+func (sp *SlotPool) better(a, b poolWaiter) bool {
+	if sp.policy == Fair && a.h != b.h {
+		sa := float64(sp.held[a.h]) / a.h.weight
+		sb := float64(sp.held[b.h]) / b.h.weight
+		if sa != sb {
+			return sa < sb
+		}
+	}
+	if a.h.seq != b.h.seq {
+		return a.h.seq < b.h.seq
+	}
+	return a.seq < b.seq
+}
+
+// PoolSet lazily creates named slot pools shared by every job admitted to
+// one queue. Engines name their pools by slot kind ("mr-map", "mr-reduce",
+// "spark-worker", "dm-o", "dm-a"), so jobs of the same engine type contend
+// for the same slots while different engine types contend only for the
+// underlying simulated resources.
+type PoolSet struct {
+	nodes  int
+	policy Policy
+	pools  map[string]*SlotPool
+}
+
+// NewPoolSet creates an empty pool set for a cluster of nodes nodes.
+func NewPoolSet(policy Policy, nodes int) *PoolSet {
+	if nodes <= 0 {
+		panic("sched: PoolSet needs at least one node")
+	}
+	return &PoolSet{nodes: nodes, policy: policy, pools: make(map[string]*SlotPool)}
+}
+
+// Pool returns the pool named kind, creating it with perNode slots per
+// node on first use. The size is fixed by the first caller; later callers
+// share the existing pool so that concurrent jobs of one engine type
+// contend for one set of slots.
+func (ps *PoolSet) Pool(kind string, perNode int) *SlotPool {
+	if sp, ok := ps.pools[kind]; ok {
+		return sp
+	}
+	sp := NewSlotPool(ps.policy, ps.nodes, perNode)
+	ps.pools[kind] = sp
+	return sp
+}

@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// Profiling refcounts a shared resource profiler across concurrent jobs:
+// sampling starts with the first job and stops with the last, so one job
+// completing cannot truncate another's profile.
+type Profiling struct {
+	jobs int
+}
+
+// Start begins sampling on prof (nil is a no-op) for one job, installing
+// the standard I/O-wait attribution on first use.
+func (pg *Profiling) Start(prof *metrics.Profiler, eng *sim.Engine) {
+	if prof == nil {
+		return
+	}
+	if pg.jobs == 0 {
+		prof.WaitIOFunc = IOWaitCounter(eng)
+		prof.Start()
+	}
+	pg.jobs++
+}
+
+// Stop releases one job's hold; the last hold stops sampling.
+func (pg *Profiling) Stop(prof *metrics.Profiler) {
+	if prof == nil || pg.jobs == 0 {
+		return
+	}
+	pg.jobs--
+	if pg.jobs == 0 {
+		prof.Stop()
+	}
+}
+
+// IOWaitCounter returns the per-node count of execution threads blocked
+// on disk or shuffle I/O — the quantity the profiler turns into the CPU
+// wait-I/O percentage (paper Figure 4).
+func IOWaitCounter(eng *sim.Engine) func(node int) int {
+	return func(node int) int {
+		return eng.CountBlocked(func(p *sim.Proc) bool {
+			return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/job"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// Engine is implemented by execution engines that can admit a job onto a
+// shared simulated testbed without driving the event loop themselves.
+// mr.Engine, core.Engine and the rdd engine all implement it, so a Queue
+// can co-schedule jobs on any of them.
+type Engine interface {
+	job.Engine
+	// Submit spawns the job's driver and task processes on the engine's
+	// simulation. done, if non-nil, is invoked (in simulation context)
+	// with the job's result when its driver completes. The caller drives
+	// the event loop.
+	Submit(spec job.Spec, ctl *JobControl, done func(job.Result))
+	// Cluster returns the simulated testbed the engine runs on.
+	Cluster() *cluster.Cluster
+}
+
+// JobControl carries one admitted job's scheduling context: its handle for
+// slot accounting and the slot pools shared with the other jobs admitted
+// to the same queue.
+type JobControl struct {
+	handle *JobHandle
+	pools  *PoolSet
+}
+
+// Handle returns the job's scheduling handle.
+func (c *JobControl) Handle() *JobHandle { return c.handle }
+
+// Pool returns the shared slot pool named kind, creating it with perNode
+// slots per node on first use (see PoolSet.Pool).
+func (c *JobControl) Pool(kind string, perNode int) *SlotPool {
+	return c.pools.Pool(kind, perNode)
+}
+
+// Solo returns the control for a job that owns the whole testbed: a fresh
+// pool set and handle with no other jobs to contend with. The engines'
+// plain Run paths use it, which makes single-job execution identical to
+// the pre-sched per-engine semaphores.
+func Solo(nodes int) *JobControl {
+	return &JobControl{
+		handle: &JobHandle{name: "solo", weight: 1},
+		pools:  NewPoolSet(FIFO, nodes),
+	}
+}
+
+// Queue admits whole jobs onto one simulated testbed so they execute
+// concurrently, contending for slots under the queue's policy and for the
+// simulated resources (CPU, disk, network, memory) beneath them.
+type Queue struct {
+	eng     *sim.Engine
+	pools   *PoolSet
+	subs    []*Submission
+	nextSeq int
+}
+
+// NewQueue creates a queue over a simulation engine and cluster size.
+func NewQueue(eng *sim.Engine, nodes int, policy Policy) *Queue {
+	return &Queue{eng: eng, pools: NewPoolSet(policy, nodes)}
+}
+
+// Submission tracks one admitted job until its result is available.
+type Submission struct {
+	name string
+	res  job.Result
+	done bool
+}
+
+// Name returns the submission's label ("engine:job").
+func (s *Submission) Name() string { return s.name }
+
+// Done reports whether the job has completed.
+func (s *Submission) Done() bool { return s.done }
+
+// Result returns the job's result; only meaningful after the queue ran.
+func (s *Submission) Result() job.Result { return s.res }
+
+// Submit admits a job at the current simulated time.
+func (q *Queue) Submit(e Engine, spec job.Spec) *Submission {
+	return q.SubmitAfter(0, e, spec)
+}
+
+// SubmitAfter admits a job delay simulated seconds from now, modeling
+// staggered arrivals. FIFO priority follows admission (simulated) time: a
+// delayed job ranks behind jobs that actually started before it.
+func (q *Queue) SubmitAfter(delay float64, e Engine, spec job.Spec) *Submission {
+	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: 1}
+	ctl := &JobControl{handle: h, pools: q.pools}
+	sub := &Submission{name: h.name}
+	start := func() {
+		h.seq = q.nextSeq
+		q.nextSeq++
+		e.Submit(spec, ctl, func(r job.Result) {
+			sub.res = r
+			sub.done = true
+		})
+	}
+	if delay > 0 {
+		q.eng.Schedule(delay, func() { start() })
+	} else {
+		start()
+	}
+	q.subs = append(q.subs, sub)
+	return sub
+}
+
+// Run drives the simulation until every admitted job completes and returns
+// their results in submission order. A job that never completed (a
+// simulation deadlock) reports the engine error in its result.
+func (q *Queue) Run() []job.Result {
+	err := q.eng.Run()
+	out := make([]job.Result, len(q.subs))
+	for i, s := range q.subs {
+		if !s.done && s.res.Err == nil {
+			if err != nil {
+				s.res.Err = fmt.Errorf("sched: job %s did not complete: %w", s.name, err)
+			} else {
+				s.res.Err = fmt.Errorf("sched: job %s did not complete", s.name)
+			}
+		}
+		out[i] = s.res
+	}
+	return out
+}

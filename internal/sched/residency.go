@@ -1,0 +1,47 @@
+package sched
+
+import "github.com/datampi/datampi-go/internal/cluster"
+
+// Residency refcounts the per-node memory an engine's runtime daemons
+// occupy while at least one job is active: the first concurrent job
+// charges it, the last frees it. All three engines previously hand-rolled
+// this alloc/free loop.
+type Residency struct {
+	c       *cluster.Cluster
+	perNode float64
+	jobs    int
+}
+
+// NewResidency tracks daemon residency over the cluster's per-node memory
+// accounts.
+func NewResidency(c *cluster.Cluster) *Residency {
+	return &Residency{c: c}
+}
+
+// Acquire charges perNode bytes on every node when the first job arrives.
+// The amount is latched until the last job releases.
+func (r *Residency) Acquire(perNode float64) {
+	if r.jobs == 0 {
+		r.perNode = perNode
+		for i := 0; i < r.c.N(); i++ {
+			r.c.Node(i).Mem.MustAlloc(perNode)
+		}
+	}
+	r.jobs++
+}
+
+// Release frees the residency when the last active job finishes.
+func (r *Residency) Release() {
+	if r.jobs <= 0 {
+		panic("sched: Residency.Release without matching Acquire")
+	}
+	r.jobs--
+	if r.jobs == 0 {
+		for i := 0; i < r.c.N(); i++ {
+			r.c.Node(i).Mem.Free(r.perNode)
+		}
+	}
+}
+
+// Jobs returns the number of active holders.
+func (r *Residency) Jobs() int { return r.jobs }

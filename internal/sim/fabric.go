@@ -19,7 +19,9 @@ type Fabric struct {
 	linkBW     float64 // bytes/sec, per direction, per node
 	loopbackBW float64
 
-	flows map[*Flow]struct{}
+	// flows is kept in start order so rate allocation and completion
+	// callbacks are deterministic across runs (see PSResource.flows).
+	flows []*Flow
 	last  float64
 	timer *Timer
 
@@ -47,7 +49,6 @@ func NewFabric(eng *Engine, n int, linkBW float64) *Fabric {
 		nodes:      n,
 		linkBW:     linkBW,
 		loopbackBW: 40 * linkBW, // loopback is effectively a memcpy
-		flows:      make(map[*Flow]struct{}),
 		rxIntegral: make([]float64, n),
 		txIntegral: make([]float64, n),
 	}
@@ -86,7 +87,7 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, onDone func()) *Flow {
 
 func (fb *Fabric) startFlow(f *Flow) {
 	fb.advance()
-	fb.flows[f] = struct{}{}
+	fb.flows = append(fb.flows, f)
 	fb.reallocate()
 }
 
@@ -97,7 +98,7 @@ func (fb *Fabric) advance() {
 	if dt <= 0 || len(fb.flows) == 0 {
 		return
 	}
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		f.remaining -= f.rate * dt
 		if f.Src != f.Dst {
 			fb.txIntegral[f.Src] += f.rate * dt
@@ -115,21 +116,22 @@ func (fb *Fabric) reallocate() {
 		fb.timer = nil
 	}
 	var finished []*Flow
-	for f := range fb.flows {
+	kept := fb.flows[:0]
+	for _, f := range fb.flows {
 		if flowDone(f.remaining, f.rate) {
 			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
 		}
 	}
-	// Deterministic callback order.
-	sort.Slice(finished, func(i, j int) bool {
+	fb.flows = kept
+	// Deterministic callback order: (Src, Dst), ties in start order.
+	sort.SliceStable(finished, func(i, j int) bool {
 		if finished[i].Src != finished[j].Src {
 			return finished[i].Src < finished[j].Src
 		}
 		return finished[i].Dst < finished[j].Dst
 	})
-	for _, f := range finished {
-		delete(fb.flows, f)
-	}
 	for _, f := range finished {
 		if f.onDone != nil {
 			fb.eng.Schedule(0, f.onDone)
@@ -149,7 +151,7 @@ func (fb *Fabric) reallocate() {
 		links[i].cap = fb.linkBW
 	}
 	var netFlows []*Flow
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		if f.Src == f.Dst {
 			f.rate = fb.loopbackBW
 			continue
@@ -159,7 +161,7 @@ func (fb *Fabric) reallocate() {
 		links[fb.nodes+f.Dst].count++
 		netFlows = append(netFlows, f)
 	}
-	sort.Slice(netFlows, func(i, j int) bool {
+	sort.SliceStable(netFlows, func(i, j int) bool {
 		if netFlows[i].Src != netFlows[j].Src {
 			return netFlows[i].Src < netFlows[j].Src
 		}
@@ -206,7 +208,7 @@ func (fb *Fabric) reallocate() {
 	}
 
 	next := math.Inf(1)
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -227,7 +229,7 @@ func (fb *Fabric) reallocate() {
 // excluding loopback.
 func (fb *Fabric) RxRate(i int) float64 {
 	r := 0.0
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		if f.Dst == i && f.Src != f.Dst {
 			r += f.rate
 		}
@@ -239,7 +241,7 @@ func (fb *Fabric) RxRate(i int) float64 {
 // excluding loopback.
 func (fb *Fabric) TxRate(i int) float64 {
 	r := 0.0
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		if f.Src == i && f.Src != f.Dst {
 			r += f.rate
 		}

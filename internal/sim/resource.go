@@ -36,7 +36,10 @@ type PSResource struct {
 	ThrashAllowance int
 	ThrashAlpha     float64
 
-	flows map[*psFlow]struct{}
+	// flows is kept in start order so iteration (rate allocation, float
+	// accumulation, completion callbacks) is deterministic across runs; a
+	// map here would randomize event ordering and with it whole schedules.
+	flows []*psFlow
 	last  float64 // time of the last advance
 	timer *Timer
 
@@ -65,7 +68,6 @@ func NewPSResource(eng *Engine, name string, capacity, perFlowCap float64) *PSRe
 		name:       name,
 		capacity:   capacity,
 		perFlowCap: perFlowCap,
-		flows:      make(map[*psFlow]struct{}),
 	}
 }
 
@@ -113,7 +115,7 @@ func (r *PSResource) Start(amount float64, onDone func()) {
 
 func (r *PSResource) start(f *psFlow) {
 	r.advance()
-	r.flows[f] = struct{}{}
+	r.flows = append(r.flows, f)
 	r.reallocate()
 }
 
@@ -126,7 +128,7 @@ func (r *PSResource) advance() {
 		return
 	}
 	used := 0.0
-	for f := range r.flows {
+	for _, f := range r.flows {
 		f.remaining -= f.rate * dt
 		used += f.rate
 	}
@@ -139,16 +141,18 @@ func (r *PSResource) reallocate() {
 		r.timer.Cancel()
 		r.timer = nil
 	}
-	// Collect finished flows first (can happen after advance).
+	// Collect finished flows first (can happen after advance), keeping the
+	// survivors in start order.
 	var finished []*psFlow
-	for f := range r.flows {
+	kept := r.flows[:0]
+	for _, f := range r.flows {
 		if flowDone(f.remaining, f.rate) {
 			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
 		}
 	}
-	for _, f := range finished {
-		delete(r.flows, f)
-	}
+	r.flows = kept
 	// Completion callbacks may start new flows; run them via the scheduler
 	// so state stays consistent.
 	for _, f := range finished {
@@ -160,7 +164,7 @@ func (r *PSResource) reallocate() {
 		return
 	}
 	totalWeight := 0.0
-	for f := range r.flows {
+	for _, f := range r.flows {
 		totalWeight += f.weight
 	}
 	effCap := r.capacity
@@ -174,7 +178,7 @@ func (r *PSResource) reallocate() {
 	// proportionally to weight.
 	capLeft := effCap
 	wLeft := totalWeight
-	for f := range r.flows {
+	for _, f := range r.flows {
 		share := effCap * f.weight / totalWeight
 		if share > r.perFlowCap {
 			f.rate = r.perFlowCap
@@ -185,14 +189,14 @@ func (r *PSResource) reallocate() {
 		}
 	}
 	if wLeft > 0 {
-		for f := range r.flows {
+		for _, f := range r.flows {
 			if f.rate == 0 {
 				f.rate = math.Min(r.perFlowCap, capLeft*f.weight/wLeft)
 			}
 		}
 	}
 	next := math.Inf(1)
-	for f := range r.flows {
+	for _, f := range r.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -212,7 +216,7 @@ func (r *PSResource) reallocate() {
 // UsedRate returns the instantaneous consumption rate in units/second.
 func (r *PSResource) UsedRate() float64 {
 	used := 0.0
-	for f := range r.flows {
+	for _, f := range r.flows {
 		used += f.rate
 	}
 	return used
