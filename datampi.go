@@ -80,6 +80,15 @@ type (
 	// ConcurrentEngine is an engine that can co-schedule jobs through a
 	// Queue; the DataMPI, Hadoop and Spark engines all implement it.
 	ConcurrentEngine = sched.Engine
+	// SpeculationConfig tunes straggler detection and speculative backup
+	// attempts; enable it with Queue.SetSpeculation.
+	SpeculationConfig = sched.SpeculationConfig
+	// PreemptionConfig tunes Fair-policy slot preemption for starved
+	// jobs; enable it with Queue.SetPreemption.
+	PreemptionConfig = sched.PreemptionConfig
+	// TrackerStats reports task-lifecycle counters (speculative backups,
+	// kills, preemptions) via Queue.TrackerStats.
+	TrackerStats = sched.TrackerStats
 )
 
 // Queue scheduling policies.
@@ -145,8 +154,18 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 // NewQueue creates a job queue over the testbed: jobs submitted to it run
 // concurrently on the shared simulated cluster, with slot contention
 // arbitrated by policy. Call Run to drive all admitted jobs to completion.
+// Scenario knobs — per-job weights (SubmitWeighted), speculative
+// execution (SetSpeculation), preemption (SetPreemption) and
+// delay-scheduling slack (SetLocalitySlack) — live on the returned Queue.
 func (t *Testbed) NewQueue(policy Policy) *Queue {
 	return sched.NewQueue(t.Cluster.Eng, t.Cluster.N(), policy)
+}
+
+// SlowNode degrades node i's CPU and disk service rates by factor
+// (factor 4 = four times slower) — the straggler perturbation for
+// heterogeneity scenarios. It may be applied before or during a run.
+func (t *Testbed) SlowNode(i int, factor float64) {
+	t.Cluster.SlowNode(i, factor)
 }
 
 // RunAll co-schedules jobs on eng under policy and returns their results

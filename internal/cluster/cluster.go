@@ -117,6 +117,21 @@ func (c *Cluster) N() int { return len(c.Nodes) }
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
 
+// SlowNode degrades node i by factor: its CPU and disk service rates drop
+// to 1/factor of their current values (factor 4 = four times slower). It
+// is the straggler perturbation for heterogeneity scenarios — a failing
+// disk, a thermally-throttled CPU, a co-located noisy neighbour. It can
+// be applied mid-simulation; in-flight work re-splits at the new rates.
+// Applying factor f then 1/f restores the original rates.
+func (c *Cluster) SlowNode(i int, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: SlowNode factor must be positive, got %v", factor))
+	}
+	n := c.Node(i)
+	n.CPU.Rescale(1 / factor)
+	n.Disk.Rescale(1 / factor)
+}
+
 // TableRows renders the Table 2 hardware description as label/value rows.
 func (h Hardware) TableRows() [][2]string {
 	return [][2]string{

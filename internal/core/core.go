@@ -135,7 +135,7 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 	eng := e.C.Eng
 	res := new(job.Result)
 	completed := false
-	e.submit(spec, sched.Solo(e.C.N()), res, func(job.Result) { completed = true })
+	e.submit(spec, sched.Solo(eng, e.C.N()), res, func(job.Result) { completed = true })
 	if err := eng.Run(); err != nil {
 		if res.Err == nil {
 			res.Err = err
@@ -189,21 +189,21 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	}
 	nA := spec.Reducers
 	world := e.buildWorld(nO, nA)
-	splitsOf := e.assignSplits(blocks, nO, world)
+	splitsOf := e.assignSplits(ctl.Placer(), blocks, nO, world)
 
 	// Task slots: with a single job both pools are at least as wide as the
 	// communicators mpirun lays out (the A pool widens when Reducers
 	// exceeds TasksPerNode*N, matching the all-ranks-at-once launch), so
 	// acquisition never blocks; under a shared queue they make concurrent
-	// DataMPI jobs contend per node. Pool sizes latch on first use, so a
-	// later job with a denser A layout runs its extra ranks in waves.
+	// DataMPI jobs contend per node. The A pool is elastic: a later job
+	// with a denser A layout grows the shared pool rather than strand
+	// ranks behind a latched size.
 	oSlots := ctl.Pool("dm-o", e.Cfg.TasksPerNode)
 	aPerNode := e.Cfg.TasksPerNode
 	if need := (nA + e.C.N() - 1) / e.C.N(); need > aPerNode {
 		aPerNode = need
 	}
-	aSlots := ctl.Pool("dm-a", aPerNode)
-	me := ctl.Handle()
+	aSlots := ctl.PoolGrow("dm-a", aPerNode)
 
 	var jobErr error
 	fail := func(err error) {
@@ -221,39 +221,61 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		driver.Sleep(e.Cfg.MPIRunLaunch)
 
 		wg.Add(nO + nA)
+		oFinish := func() {
+			oDone++
+			if oDone == nO {
+				oPhaseEnd = eng.Now()
+			}
+		}
 		for o := 0; o < nO; o++ {
 			o := o
-			eng.Go(fmt.Sprintf("O-%d", o), func(p *sim.Proc) {
-				defer wg.Done()
-				node := world.NodeOf(o)
-				p.Node = node
-				oSlots.Acquire(p, node, me, "slot")
-				defer oSlots.Release(node, me)
-				if err := e.runOTask(p, &spec, world, o, nO, nA, splitsOf[o]); err != nil {
-					fail(err)
-				} else {
+			// O tasks with an A side are restartable: the body re-reads its
+			// immutable splits and re-streams partitions, and duplicate
+			// sends are harmless because the A side keeps one message per
+			// split tag and discards re-deliveries (the duplicate bytes
+			// still cross the simulated network, as real speculative
+			// shuffles do). Map-only O tasks write the DFS from the body
+			// and stay single-attempt.
+			ctl.Launch(sched.TaskSpec{
+				Name:        fmt.Sprintf("O-%d", o),
+				Node:        world.NodeOf(o),
+				Pool:        oSlots,
+				Group:       "O",
+				Restartable: nA > 0,
+				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					return nil, e.runOTask(p, att, &spec, world, o, nO, nA, splitsOf[o])
+				},
+				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("o_tasks", 1)
-				}
-				oDone++
-				if oDone == nO {
-					oPhaseEnd = eng.Now()
-				}
+					oFinish()
+					return nil
+				},
+				Fail:  func(err error) { fail(err); oFinish() },
+				Final: wg.Done,
 			})
 		}
 		totalSplits := len(blocks)
 		for a := 0; a < nA; a++ {
 			a := a
-			eng.Go(fmt.Sprintf("A-%d", a), func(p *sim.Proc) {
-				defer wg.Done()
-				node := world.NodeOf(nO + a)
-				p.Node = node
-				aSlots.Acquire(p, node, me, "slot")
-				defer aSlots.Release(node, me)
-				if err := e.runATask(p, &spec, world, nO, a, totalSplits, res); err != nil {
-					fail(err)
-				} else {
+			// A tasks are never speculated: dichotomic A ranks accumulate
+			// the job's intermediate data in memory as it streams in, so a
+			// backup could not re-receive consumed messages. DataMPI's own
+			// fault story for the A side is checkpoint/restart (Config.
+			// Checkpoint), not re-execution.
+			ctl.Launch(sched.TaskSpec{
+				Name:  fmt.Sprintf("A-%d", a),
+				Node:  world.NodeOf(nO + a),
+				Pool:  aSlots,
+				Group: "A",
+				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					return nil, e.runATask(p, att, &spec, world, nO, a, totalSplits, res)
+				},
+				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("a_tasks", 1)
-				}
+					return nil
+				},
+				Fail:  fail,
+				Final: wg.Done,
 			})
 		}
 		wg.Wait(driver)
@@ -300,27 +322,33 @@ func (e *Engine) buildWorld(nO, nA int) *mpi.World {
 // assignSplits maps input blocks to O ranks: blocks go to nodes with
 // locality preference and balanced waves, then round-robin over that
 // node's local O ranks (see sched.Placer.PlaceOnRanks).
-func (e *Engine) assignSplits(blocks []*dfs.Block, nO int, w *mpi.World) [][]*dfs.Block {
+func (e *Engine) assignSplits(pl sched.Placer, blocks []*dfs.Block, nO int, w *mpi.World) [][]*dfs.Block {
 	rankNode := make([]int, nO)
 	for o := 0; o < nO; o++ {
 		rankNode[o] = w.NodeOf(o)
 	}
-	return sched.Placer{Nodes: e.C.N()}.PlaceOnRanks(blocks, rankNode)
+	return pl.PlaceOnRanks(blocks, rankNode)
 }
 
 // runOTask processes this rank's splits: for each split, the input read,
-// the O-function CPU, and the pipelined partition sends all overlap.
-func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, nA int, splits []*dfs.Block) error {
+// the O-function CPU, and the pipelined partition sends all overlap. The
+// body is restartable when an A side exists: a speculative attempt runs
+// it on its own node (att.Node may differ from the rank's home node) and
+// everything it allocates is released by defers even when cancelled.
+func (e *Engine) runOTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, rank, nO, nA int, splits []*dfs.Block) error {
 	cfg := &e.Cfg
 	scale := e.scale()
-	node := w.NodeOf(rank)
+	node := att.Node()
 	mem := e.C.Node(node).Mem
 	p.Sleep(cfg.TaskStart)
 	mem.MustAlloc(cfg.ProcBaseMem)
 	defer mem.Free(cfg.ProcBaseMem)
+	var sendBufHeld float64
+	defer func() { mem.Free(sendBufHeld) }()
 
 	mapOnly := nA == 0
-	for _, blk := range splits {
+	for si, blk := range splits {
+		att.Report(float64(si) / float64(len(splits)))
 		recs, inflated, err := job.Records(spec.InputFormat, blk.Data)
 		if err != nil {
 			return fmt.Errorf("datampi: O input: %w", err)
@@ -348,12 +376,15 @@ func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, n
 			}
 		}
 
-		// Send buffers hold one pipelining unit per destination.
+		// Send buffers hold one pipelining unit per destination. The held
+		// amount is tracked so the deferred release covers a cancelled
+		// attempt mid-split.
 		sendBufMem := float64(nParts) * cfg.SendBufferBytes
 		if sendBufMem > 64*cluster.MB*float64(nParts) {
 			sendBufMem = 64 * cluster.MB * float64(nParts)
 		}
 		mem.MustAlloc(sendBufMem)
+		sendBufHeld += sendBufMem
 
 		cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteO*spec.MapCPUFactor*inflatedNominal +
 			cfg.CPUPerByteEmit*emittedNominal +
@@ -361,7 +392,6 @@ func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, n
 
 		var wg sim.WaitGroup
 		if err := e.FS.StartRead(blk, node, &wg); err != nil {
-			mem.Free(sendBufMem)
 			return err
 		}
 		wg.Add(1)
@@ -377,7 +407,7 @@ func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, n
 					nominal += float64(pr.Size()+6) * emitScale
 				}
 				sg.Add(1)
-				w.Isend(rank, nO+a, splitTag(blk), nominal, parts[a], sg.Done)
+				w.IsendFrom(node, rank, nO+a, splitTag(blk), nominal, parts[a], sg.Done)
 			}
 		}
 		if !mapOnly && !cfg.DisablePipelining {
@@ -399,6 +429,7 @@ func (e *Engine) runOTask(p *sim.Proc, spec *job.Spec, w *mpi.World, rank, nO, n
 			p.BlockReason = ""
 		}
 		mem.Free(sendBufMem)
+		sendBufHeld -= sendBufMem
 
 		if mapOnly && spec.Output != "" {
 			enc := job.EncodeTextOutput(parts[0])
@@ -418,8 +449,11 @@ func splitTag(blk *dfs.Block) int { return int(blk.ID) + 1000 }
 
 // runATask receives one message per input split, buffering the pairs in
 // memory (spilling past the buffer limit), then sorts, groups, reduces
-// and writes its output partition.
-func (e *Engine) runATask(p *sim.Proc, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result) error {
+// and writes its output partition. Messages are deduplicated by split
+// tag: when a straggling O attempt and its speculative backup both stream
+// a split's partition, the bytes cross the network twice but only the
+// first delivery is kept.
+func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result) error {
 	cfg := &e.Cfg
 
 	rank := nO + a
@@ -432,8 +466,15 @@ func (e *Engine) runATask(p *sim.Proc, spec *job.Spec, w *mpi.World, nO, a, tota
 	var runs [][]kv.Pair
 	bufferedNominal, bufferedMem, spilledNominal := 0.0, 0.0, 0.0
 	var checkpointNominal float64
-	for i := 0; i < totalSplits; i++ {
+	seenTags := make(map[int]bool, totalSplits)
+	for len(seenTags) < totalSplits {
 		m := w.Recv(p, rank, mpi.AnySource, -1)
+		if seenTags[m.Tag] {
+			res.AddCounter("duplicate_bytes_nominal", int64(m.Nominal))
+			continue
+		}
+		seenTags[m.Tag] = true
+		att.Report(0.7 * float64(len(seenTags)) / float64(totalSplits))
 		pairs := m.Payload.([]kv.Pair)
 		if len(pairs) > 0 {
 			runs = append(runs, pairs)

@@ -6,6 +6,7 @@ import (
 	"github.com/datampi/datampi-go/internal/dfs"
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/kv"
+	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
 )
 
@@ -80,7 +81,7 @@ func RunIteration[S any](e *Engine, it IterationJob[S], initial S) IterationResu
 	}
 	nA := e.C.N() // one aggregator per node
 	world := e.buildWorld(nO, nA)
-	splitsOf := e.assignSplits(blocks, nO, world)
+	splitsOf := e.assignSplits(sched.Placer{Nodes: e.C.N()}, blocks, nO, world)
 
 	state := initial
 	var jobErr error

@@ -33,6 +33,14 @@ type Config struct {
 	// pipeline setup, and block commit. It is what makes small blocks slow
 	// in the Figure 2(a) sweep.
 	PerBlockOverhead float64
+	// GatewayUpload, when set, stages every preloaded/generated file as if
+	// uploaded through the single client node GatewayNode: HDFS's
+	// write-locality rule then pins each block's primary replica there,
+	// the replica-placement skew that motivates delay scheduling. Off by
+	// default (primaries rotate round-robin, modeling files written from
+	// many clients).
+	GatewayUpload bool
+	GatewayNode   int
 }
 
 // DefaultConfig mirrors the paper's chosen parameters: 256 MB blocks with
@@ -114,6 +122,15 @@ func (fs *FS) actualBlockSize() int {
 		abs = 1
 	}
 	return abs
+}
+
+// stagingWriter returns the writer node for a preloaded/generated block:
+// the configured gateway, or a round-robin rotation over nodes.
+func (fs *FS) stagingWriter() int {
+	if fs.cfg.GatewayUpload {
+		return fs.cfg.GatewayNode
+	}
+	return int(fs.nextID) % fs.c.N()
 }
 
 // placeReplicas picks replica nodes for a new block: primary on the writer
@@ -228,7 +245,7 @@ func (fs *FS) Preload(name string, data []byte) *File {
 			ID:        fs.nextID,
 			Data:      data[off:end],
 			Nominal:   float64(end-off) * fs.cfg.Scale,
-			Locations: fs.placeReplicas(int(fs.nextID) % fs.c.N()),
+			Locations: fs.placeReplicas(fs.stagingWriter()),
 		}
 		fs.nextID++
 		for _, loc := range blk.Locations {
@@ -276,7 +293,7 @@ func (fs *FS) PreloadParts(name string, parts [][]byte) *File {
 			ID:        fs.nextID,
 			Data:      part,
 			Nominal:   float64(len(part)) * fs.cfg.Scale,
-			Locations: fs.placeReplicas(int(fs.nextID) % fs.c.N()),
+			Locations: fs.placeReplicas(fs.stagingWriter()),
 		}
 		fs.nextID++
 		for _, loc := range blk.Locations {

@@ -179,6 +179,8 @@ type RigConfig struct {
 	Scale        float64
 	BlockSize    float64 // nominal; default 256 MB (the paper's tuned value)
 	TasksPerNode int     // default 4 (the paper's tuned value)
+	Replication  int     // DFS replication; default 3 (the paper's value)
+	Gateway      bool    // stage inputs through a single upload client (node 0)
 	Profile      bool    // attach a resource profiler
 	ProfInterval float64
 	Seed         int64
@@ -198,13 +200,17 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	if rc.ProfInterval <= 0 {
 		rc.ProfInterval = 1.0
 	}
+	if rc.Replication <= 0 {
+		rc.Replication = 3
+	}
 	c := cluster.New(cluster.DefaultHardware())
 	fsys := dfs.New(c, dfs.Config{
 		BlockSize:        rc.BlockSize,
-		Replication:      3,
+		Replication:      rc.Replication,
 		Scale:            rc.Scale,
 		Seed:             rc.Seed + 100,
 		PerBlockOverhead: dfs.DefaultConfig().PerBlockOverhead,
+		GatewayUpload:    rc.Gateway,
 	})
 	r := &Rig{FW: fw, Cluster: c, FS: fsys, TasksPerNode: rc.TasksPerNode}
 	if rc.Profile {

@@ -10,7 +10,7 @@ import (
 var wantIDs = []string{
 	"fig2a", "fig2b", "fig3a", "fig3b", "fig3c", "fig3d",
 	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
-	"table1", "table2", "mix1",
+	"table1", "table2", "mix1", "straggler", "delaysweep",
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
@@ -103,6 +103,67 @@ func TestFig3bShape(t *testing.T) {
 	last := rep.Rows[len(rep.Rows)-1] // 64 GB
 	if last[2] != "OOM" {
 		t.Fatalf("Spark should OOM at 64GB: %v", last)
+	}
+}
+
+// TestStragglerRecoveryShape runs the straggler experiment in quick mode
+// (Hadoop + DataMPI) and asserts the headline property: with one node 4x
+// slow, speculative execution recovers at least 30% of the injected
+// slowdown, and the runs are deterministic across invocations.
+func TestStragglerRecoveryShape(t *testing.T) {
+	exp, _ := Lookup("straggler")
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("quick mode rows = %d, want Hadoop and DataMPI", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		clean, slow, spec, rec := atof(row[1]), atof(row[2]), atof(row[3]), atof(row[4])
+		if !(clean < spec && spec < slow) {
+			t.Fatalf("%s: want Clean < Spec < Slow, got %v", row[0], row)
+		}
+		if rec < 30 {
+			t.Fatalf("%s: speculation recovered %v%%, want >= 30%%", row[0], rec)
+		}
+	}
+	rep2, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Rows {
+		for j := range rep.Rows[i] {
+			if rep.Rows[i][j] != rep2.Rows[i][j] {
+				t.Fatalf("straggler runs not deterministic: %v vs %v", rep.Rows[i], rep2.Rows[i])
+			}
+		}
+	}
+}
+
+// TestDelaySweepShape runs the locality-slack sweep in quick mode and
+// asserts the delay-scheduling trade: more slack buys strictly more
+// data-local maps, and full slack is not free (it unbalances waves).
+func TestDelaySweepShape(t *testing.T) {
+	exp, _ := Lookup("delaysweep")
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("rows = %d, want the quick sweep points", len(rep.Rows))
+	}
+	prev := -1.0
+	for _, row := range rep.Rows {
+		local := atof(row[1])
+		if local <= prev {
+			t.Fatalf("locality should rise with slack: %v", rep.Rows)
+		}
+		prev = local
+	}
+	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
+	if atof(last[4]) <= atof(first[4]) {
+		t.Fatalf("max slack should cost makespan vs strict balance on a hot-spotted gateway: %v vs %v", last, first)
 	}
 }
 

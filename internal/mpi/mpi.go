@@ -92,6 +92,16 @@ func (w *World) cond(rank int) *sim.Cond {
 // the caller; the message is delivered to the receiver's mailbox when the
 // simulated transfer completes. onDone (optional) fires at completion.
 func (w *World) Isend(from, to, tag int, nominalBytes float64, payload any, onDone func()) {
+	if from < 0 || from >= len(w.nodeOf) {
+		panic(fmt.Sprintf("mpi: Isend with invalid ranks %d->%d", from, to))
+	}
+	w.IsendFrom(w.nodeOf[from], from, to, tag, nominalBytes, payload, onDone)
+}
+
+// IsendFrom is Isend with the source node overridden: a speculative
+// backup attempt executing rank from on a different node streams its
+// partitions over that node's links, not the rank's home links.
+func (w *World) IsendFrom(srcNode, from, to, tag int, nominalBytes float64, payload any, onDone func()) {
 	if from < 0 || from >= len(w.nodeOf) || to < 0 || to >= len(w.nodeOf) {
 		panic(fmt.Sprintf("mpi: Isend with invalid ranks %d->%d", from, to))
 	}
@@ -102,7 +112,7 @@ func (w *World) Isend(from, to, tag int, nominalBytes float64, payload any, onDo
 			onDone()
 		}
 	}
-	srcNode, dstNode := w.nodeOf[from], w.nodeOf[to]
+	dstNode := w.nodeOf[to]
 	w.c.Net.StartFlow(srcNode, dstNode, nominalBytes, func() {
 		if w.LatencySecs > 0 {
 			w.c.Eng.Schedule(w.LatencySecs, deliver)

@@ -129,7 +129,7 @@ func (e *Engine) Run(spec job.Spec) job.Result {
 	eng := e.C.Eng
 	res := new(job.Result)
 	completed := false
-	e.submit(spec, sched.Solo(e.C.N()), res, func(job.Result) { completed = true })
+	e.submit(spec, sched.Solo(eng, e.C.N()), res, func(job.Result) { completed = true })
 	if err := eng.Run(); err != nil {
 		if res.Err == nil {
 			res.Err = err
@@ -179,10 +179,9 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	e.acquireDaemons()
 	e.profiling.Start(e.Prof, eng)
 
-	assignment := sched.Placer{Nodes: e.C.N()}.Place(blocks)
+	assignment := ctl.Placer().Place(blocks)
 	mapSlots := ctl.Pool("mr-map", e.Cfg.TasksPerNode)
 	reduceSlots := ctl.Pool("mr-reduce", e.Cfg.TasksPerNode)
-	me := ctl.Handle()
 
 	outputs := make([]*mapOutput, 0, nMaps)
 	mapsDone := 0
@@ -226,27 +225,35 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		jobWG.Add(nMaps)
 		for mi := 0; mi < nMaps; mi++ {
 			mi := mi
-			node := assignment[mi]
-			eng.Go(fmt.Sprintf("map-%d", mi), func(p *sim.Proc) {
-				defer jobWG.Done()
-				p.Node = node
-				mapSlots.Acquire(p, node, me, "slot")
-				defer mapSlots.Release(node, me)
-				out, err := e.runMapTask(p, &spec, blocks[mi], node, nReduce)
-				if err != nil {
-					fail(err)
-					return
-				}
-				res.AddCounter("maps", 1)
-				if e.FS.IsLocal(blocks[mi], node) {
-					res.AddCounter("data_local_maps", 1)
-				}
-				outputs = append(outputs, out)
-				mapsDone++
-				if mapsDone == nMaps {
-					mapPhaseEnd = eng.Now()
-				}
-				outputsCond.Broadcast()
+			// Map tasks are restartable when there are reducers: the body
+			// re-reads its immutable split and publishes its output only
+			// through Done, so a backup attempt can race the original.
+			// Map-only tasks write the DFS from the body and stay
+			// single-attempt.
+			ctl.Launch(sched.TaskSpec{
+				Name:        fmt.Sprintf("map-%d", mi),
+				Node:        assignment[mi],
+				Pool:        mapSlots,
+				Group:       "map",
+				Restartable: nReduce > 0,
+				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce)
+				},
+				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+					res.AddCounter("maps", 1)
+					if e.FS.IsLocal(blocks[mi], att.Node()) {
+						res.AddCounter("data_local_maps", 1)
+					}
+					outputs = append(outputs, v.(*mapOutput))
+					mapsDone++
+					if mapsDone == nMaps {
+						mapPhaseEnd = eng.Now()
+					}
+					outputsCond.Broadcast()
+					return nil
+				},
+				Fail:  fail,
+				Final: jobWG.Done,
 			})
 		}
 
@@ -264,25 +271,56 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		}
 		for ri := 0; ri < nReduce; ri++ {
 			ri := ri
-			node := ri % e.C.N()
-			eng.Go(fmt.Sprintf("reduce-%d", ri), func(p *sim.Proc) {
-				defer jobWG.Done()
-				p.Node = node
-				// Slow-start: the JobTracker does not launch reducers
-				// until enough maps have finished.
-				for mapsDone < slowstart && jobErr == nil {
-					outputsCond.Wait(p, "slowstart")
-				}
-				if jobErr != nil {
-					return
-				}
-				reduceSlots.Acquire(p, node, me, "slot")
-				defer reduceSlots.Release(node, me)
-				if err := e.runReduceTask(p, &spec, ri, node, nMaps, &outputs, &outputsCond, failed, res); err != nil {
-					fail(err)
-				} else {
+			// Reduce tasks are restartable: map outputs persist on the map
+			// nodes' disks, so a backup attempt re-fetches every partition
+			// and only the winner commits the output file in Done.
+			ctl.Launch(sched.TaskSpec{
+				Name:        fmt.Sprintf("reduce-%d", ri),
+				Node:        ri % e.C.N(),
+				Pool:        reduceSlots,
+				Group:       "reduce",
+				Restartable: true,
+				Pre: func(p *sim.Proc) bool {
+					// Slow-start: the JobTracker does not launch reducers
+					// until enough maps have finished.
+					for mapsDone < slowstart && jobErr == nil {
+						outputsCond.Wait(p, "slowstart")
+					}
+					return jobErr != nil
+				},
+				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					return e.runReduceTask(p, att, &spec, ri, att.Node(), nMaps, &outputs, &outputsCond, failed, res)
+				},
+				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+					// Commit order mirrors the pre-tracker task body: output
+					// write, then the task memory the body handed off is
+					// released, then the completion counter.
+					if out, ok := v.(*reduceOut); ok {
+						res.OutRecords += int64(len(out.reduced))
+						var werr error
+						if spec.Output != "" {
+							enc := job.EncodeTextOutput(out.reduced)
+							w := e.FS.CreateScaled(fmt.Sprintf("%s/part-r-%05d", spec.Output, ri), att.Node(), spec.EmitScale())
+							werr = w.Write(p, enc)
+							if werr == nil {
+								werr = w.Close(p)
+							}
+						}
+						out.release()
+						if werr != nil {
+							return werr
+						}
+					}
 					res.AddCounter("reduces", 1)
-				}
+					return nil
+				},
+				Discard: func(v any) {
+					if out, ok := v.(*reduceOut); ok {
+						out.release()
+					}
+				},
+				Fail:  fail,
+				Final: jobWG.Done,
 			})
 		}
 		jobWG.Wait(driver)
@@ -302,13 +340,16 @@ func (e *Engine) acquireDaemons() {
 
 func (e *Engine) releaseDaemons() { e.daemons.Release() }
 
-// runMapTask executes one map task: JVM launch, streaming split read
-// overlapped with the map function and sort/spill I/O, then the final
-// merged output written to the local disk.
-func (e *Engine) runMapTask(p *sim.Proc, spec *job.Spec, blk *dfs.Block, node int, nReduce int) (*mapOutput, error) {
+// runMapTask executes one map task attempt: JVM launch, streaming split
+// read overlapped with the map function and sort/spill I/O, then the
+// final merged output written to the local disk. The body is restartable:
+// it derives everything from the immutable block and its own collector,
+// so a speculative attempt can re-run it on another node.
+func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk *dfs.Block, node int, nReduce int) (*mapOutput, error) {
 	cfg := &e.Cfg
 	scale := e.scale()
 	p.Sleep(cfg.TaskLaunch)
+	att.Report(0.05)
 
 	// Decode and process the real records eagerly; collect the resource
 	// demands, then charge them overlapped (Hadoop streams the split
@@ -402,30 +443,54 @@ func (e *Engine) runMapTask(p *sim.Proc, spec *job.Spec, blk *dfs.Block, node in
 	return &mapOutput{node: node, parts: parts, nominal: nominal}, nil
 }
 
-// runReduceTask fetches every map's partition, merges (spilling when the
-// shuffle buffer overflows), applies the reduce function and writes the
-// replicated output file.
-func (e *Engine) runReduceTask(p *sim.Proc, spec *job.Spec, ri, node, nMaps int,
-	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result) error {
+// reduceOut is a finished reduce body's result, handed to the winning
+// attempt's Done: the reduced pairs plus a release callback freeing the
+// task's memory (shuffle buffer now, JVM heap lazily) — deferred past the
+// output write exactly as the pre-tracker task body did.
+type reduceOut struct {
+	reduced []kv.Pair
+	release func()
+}
+
+// runReduceTask fetches every map's partition and merges (spilling when
+// the shuffle buffer overflows), applies the reduce function and returns
+// the reduced pairs for the winner's Done to commit. Aborting because the
+// job failed returns (nil, nil) — untyped nil, so Done skips the write.
+// The body is restartable: map outputs persist in the shared outputs
+// slice, and its memory is released on every path — by Done/Discard after
+// a completed run (via the handed-off release callback), or by the
+// deferred cleanup when the attempt is cancelled mid-fetch.
+func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, ri, node, nMaps int,
+	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result) (any, error) {
 	cfg := &e.Cfg
 
 	mem := e.C.Node(node).Mem
 	p.Sleep(cfg.TaskLaunch)
 	mem.MustAlloc(cfg.JVMBaseMem)
-	defer mem.FreeLazy(e.C.Eng, cfg.JVMBaseMem, cfg.HeapLingerSecs)
 
 	var runs [][]kv.Pair
 	fetched := 0
 	bufferedNominal := 0.0
 	spilledNominal := 0.0
 	bufferedMem := 0.0
+	handoff := false
+	release := func() {
+		mem.Free(bufferedMem)
+		mem.FreeLazy(e.C.Eng, cfg.JVMBaseMem, cfg.HeapLingerSecs)
+	}
+	defer func() {
+		if !handoff {
+			release()
+		}
+	}()
 	for fetched < nMaps {
 		for fetched >= len(*outputs) {
 			if failed() {
-				return nil
+				return nil, nil
 			}
 			cond.Wait(p, "shuffle-wait")
 		}
+		att.Report(0.8 * float64(fetched) / float64(nMaps))
 		mo := (*outputs)[fetched]
 		fetched++
 		nom := mo.nominal[ri]
@@ -468,7 +533,7 @@ func (e *Engine) runReduceTask(p *sim.Proc, spec *job.Spec, ri, node, nMaps int,
 			bufferedMem = 0
 		}
 	}
-	defer mem.Free(bufferedMem)
+	att.Report(0.8)
 
 	// Final merge: spilled runs come back from disk; CPU for the merge.
 	totalNominal := bufferedNominal + spilledNominal
@@ -497,20 +562,8 @@ func (e *Engine) runReduceTask(p *sim.Proc, spec *job.Spec, ri, node, nMaps int,
 	wg.Wait(p)
 	p.BlockReason = ""
 
-	reduced := kv.GroupReduce(merged, spec.Reduce)
-	res.OutRecords += int64(len(reduced))
-
-	if spec.Output != "" {
-		enc := job.EncodeTextOutput(reduced)
-		w := e.FS.CreateScaled(fmt.Sprintf("%s/part-r-%05d", spec.Output, ri), node, spec.EmitScale())
-		if err := w.Write(p, enc); err != nil {
-			return err
-		}
-		if err := w.Close(p); err != nil {
-			return err
-		}
-	}
-	return nil
+	handoff = true
+	return &reduceOut{reduced: kv.GroupReduce(merged, spec.Reduce), release: release}, nil
 }
 
 // AttachProfiler wires a resource profiler into the engine.

@@ -93,7 +93,7 @@ func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)
 	res := new(JobResult)
 	start := eng.Now()
 	completed := false
-	e.submitAction(target, outPath, collect, sched.Solo(e.C.N()), res, func(JobResult) { completed = true })
+	e.submitAction(target, outPath, collect, sched.Solo(eng, e.C.N()), res, func(JobResult) { completed = true })
 	if err := eng.Run(); err != nil {
 		if res.Err == nil {
 			res.Err = err
@@ -125,7 +125,6 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 
 	stages := plan(target)
 	slots := ctl.Pool("spark-worker", cfg.WorkersPerNode)
-	me := ctl.Handle()
 
 	var stageEnds []float64
 	eng.Go("spark-driver", func(driver *sim.Proc) {
@@ -139,7 +138,7 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 		var current []partData
 		for si, st := range stages {
 			isLast := si == len(stages)-1
-			out, err := e.runStage(driver, st, current, slots, me, isLast, outPath)
+			out, err := e.runStage(driver, st, current, slots, ctl, si, isLast, outPath)
 			if err != nil {
 				jobErr = err
 				break
@@ -180,9 +179,8 @@ func (e *Engine) releaseApp() { e.app.Release() }
 // runStage executes one stage's tasks over worker slots and returns the
 // materialized output partitions (input to the next stage).
 func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
-	slots *sched.SlotPool, me *sched.JobHandle, isLast bool, outPath string) ([]partData, error) {
+	slots *sched.SlotPool, ctl *sched.JobControl, si int, isLast bool, outPath string) ([]partData, error) {
 
-	eng := e.C.Eng
 	cfg := &e.Cfg
 	scale := e.scale()
 
@@ -207,7 +205,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 		if len(blocks) == 0 {
 			return nil, fmt.Errorf("rdd: empty input file")
 		}
-		nodeOf := sched.Placer{Nodes: e.C.N()}.Place(blocks)
+		nodeOf := ctl.Placer().Place(blocks)
 		for i, blk := range blocks {
 			tasks = append(tasks, taskIn{node: nodeOf[i], blk: blk})
 		}
@@ -242,23 +240,33 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 	for ti := range tasks {
 		ti := ti
 		tin := &tasks[ti]
-		eng.Go(fmt.Sprintf("spark-task-%d", ti), func(p *sim.Proc) {
-			defer wg.Done()
-			if firstErr != nil {
-				return
-			}
-			p.Node = tin.node
-			slots.Acquire(p, tin.node, me, "slot")
-			defer slots.Release(tin.node, me)
-			p.Sleep(cfg.TaskDispatch)
-			out, err := e.runTask(p, st, tin.node, tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti)
-			if err != nil {
+		// Tasks of non-final stages are restartable: their inputs (block,
+		// cache slice, shuffle partData) are immutable and their output
+		// partitions publish only through Done. Final-stage tasks write
+		// the DFS from the body and stay single-attempt.
+		ctl.Launch(sched.TaskSpec{
+			Name:        fmt.Sprintf("spark-task-%d", ti),
+			Node:        tin.node,
+			Pool:        slots,
+			Group:       fmt.Sprintf("stage%d", si),
+			Restartable: !isLast,
+			Pre:         func(p *sim.Proc) bool { return firstErr != nil },
+			Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+				p.Sleep(cfg.TaskDispatch)
+				att.Report(0.05)
+				out, err := e.runTask(p, st, att.Node(), tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti)
+				return out, err
+			},
+			Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+				results = append(results, v.([]partData)...)
+				return nil
+			},
+			Fail: func(err error) {
 				if firstErr == nil {
 					firstErr = err
 				}
-				return
-			}
-			results = append(results, out...)
+			},
+			Final: wg.Done,
 		})
 	}
 	wg.Wait(driver)

@@ -1,25 +1,36 @@
 package sched
 
-import "github.com/datampi/datampi-go/internal/sim"
+import (
+	"fmt"
+	"sort"
+
+	"github.com/datampi/datampi-go/internal/sim"
+)
 
 // SlotPool is a set of per-node task slots in simulated time. Within one
 // job, waiters are served FIFO, exactly like the per-engine semaphores the
 // pool replaces; across jobs the pool's policy picks which waiting job a
 // freed slot goes to. A freed slot is assigned to the chosen waiter before
 // it wakes, so a granted slot can never be stolen by a newcomer.
+//
+// Acquire is kill-safe: a waiter cancelled while queued removes itself on
+// its way out, and one cancelled between grant and wake returns the slot,
+// so speculative-attempt cancellation and preemption never leak slots.
 type SlotPool struct {
 	policy  Policy
 	perNode int
 	free    []int
-	queues  [][]poolWaiter
+	queues  [][]*poolWaiter
 	held    map[*JobHandle]int
 	arrival int64
 }
 
 type poolWaiter struct {
-	p   *sim.Proc
-	h   *JobHandle
-	seq int64 // arrival order, kept across grants for FIFO-within-job
+	p       *sim.Proc
+	h       *JobHandle
+	seq     int64   // arrival order, kept across grants for FIFO-within-job
+	at      float64 // simulated enqueue time, for starvation detection
+	granted bool    // slot assigned, wake pending
 }
 
 // NewSlotPool creates a pool with perNode slots on each of nodes nodes.
@@ -31,7 +42,7 @@ func NewSlotPool(policy Policy, nodes, perNode int) *SlotPool {
 		policy:  policy,
 		perNode: perNode,
 		free:    newFilled(nodes, perNode),
-		queues:  make([][]poolWaiter, nodes),
+		queues:  make([][]*poolWaiter, nodes),
 		held:    make(map[*JobHandle]int),
 	}
 }
@@ -47,11 +58,17 @@ func newFilled(n, v int) []int {
 // PerNode returns the configured slots per node.
 func (sp *SlotPool) PerNode() int { return sp.perNode }
 
+// Nodes returns the number of nodes the pool spans.
+func (sp *SlotPool) Nodes() int { return len(sp.free) }
+
 // Free returns the currently free slots on node.
 func (sp *SlotPool) Free(node int) int { return sp.free[node] }
 
 // Held returns how many of the pool's slots h currently holds.
 func (sp *SlotPool) Held(h *JobHandle) int { return sp.held[h] }
+
+// Policy returns the pool's grant-arbitration policy.
+func (sp *SlotPool) Policy() Policy { return sp.policy }
 
 // Acquire takes one slot on node for job h, parking the proc until the
 // pool grants one under its policy. reason labels the blocked state for
@@ -65,8 +82,32 @@ func (sp *SlotPool) Acquire(p *sim.Proc, node int, h *JobHandle, reason string) 
 		sp.held[h]++
 		return
 	}
-	sp.queues[node] = append(sp.queues[node], poolWaiter{p: p, h: h, seq: sp.arrival})
+	w := &poolWaiter{p: p, h: h, seq: sp.arrival, at: p.Engine().Now()}
+	sp.queues[node] = append(sp.queues[node], w)
 	sp.arrival++
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// The waiter is unwinding (cancelled attempt): undo its pool state
+		// before the panic continues. A granted-but-not-woken waiter hands
+		// its slot back; a still-queued one just leaves the queue.
+		if w.granted {
+			sp.held[h]--
+			sp.free[node]++
+			sp.grant(node)
+		} else {
+			q := sp.queues[node]
+			for i, other := range q {
+				if other == w {
+					sp.queues[node] = append(q[:i], q[i+1:]...)
+					break
+				}
+			}
+		}
+		panic(r)
+	}()
 	p.Park(reason)
 }
 
@@ -81,26 +122,29 @@ func (sp *SlotPool) Release(node int, h *JobHandle) {
 	sp.grant(node)
 }
 
+// grant hands out free slots on node to the best waiters under the pool's
+// policy until slots or waiters run out (after Release exactly one slot is
+// free; Grow can free several at once).
 func (sp *SlotPool) grant(node int) {
-	q := sp.queues[node]
-	if sp.free[node] == 0 || len(q) == 0 {
-		return
-	}
-	best := 0
-	for i := 1; i < len(q); i++ {
-		if sp.better(q[i], q[best]) {
-			best = i
+	for sp.free[node] > 0 && len(sp.queues[node]) > 0 {
+		q := sp.queues[node]
+		best := 0
+		for i := 1; i < len(q); i++ {
+			if sp.better(q[i], q[best]) {
+				best = i
+			}
 		}
+		w := q[best]
+		sp.queues[node] = append(q[:best], q[best+1:]...)
+		sp.free[node]--
+		sp.held[w.h]++
+		w.granted = true
+		w.p.Unpark()
 	}
-	w := q[best]
-	sp.queues[node] = append(q[:best], q[best+1:]...)
-	sp.free[node]--
-	sp.held[w.h]++
-	w.p.Unpark()
 }
 
 // better reports whether waiter a should be granted before waiter b.
-func (sp *SlotPool) better(a, b poolWaiter) bool {
+func (sp *SlotPool) better(a, b *poolWaiter) bool {
 	if sp.policy == Fair && a.h != b.h {
 		sa := float64(sp.held[a.h]) / a.h.weight
 		sb := float64(sp.held[b.h]) / b.h.weight
@@ -114,6 +158,87 @@ func (sp *SlotPool) better(a, b poolWaiter) bool {
 	return a.seq < b.seq
 }
 
+// Grow widens the pool to perNode slots on every node (a no-op if it is
+// already at least that wide), granting the new slots to waiters. Pools
+// only ever grow: engines whose slot layout depends on the job (DataMPI's
+// A communicator) widen the shared pool rather than strand ranks.
+func (sp *SlotPool) Grow(perNode int) {
+	if perNode <= sp.perNode {
+		return
+	}
+	delta := perNode - sp.perNode
+	sp.perNode = perNode
+	for node := range sp.free {
+		sp.free[node] += delta
+		sp.grant(node)
+	}
+}
+
+// demandHandles returns every job currently holding slots or waiting for
+// one, in admission order (deterministic despite the held map).
+func (sp *SlotPool) demandHandles() []*JobHandle {
+	seen := make(map[*JobHandle]bool)
+	var out []*JobHandle
+	add := func(h *JobHandle) {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for h, n := range sp.held {
+		if n > 0 {
+			add(h)
+		}
+	}
+	for _, q := range sp.queues {
+		for _, w := range q {
+			add(w.h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// FairShare returns h's weighted fair share of the pool's total slots,
+// dividing among the jobs that currently hold or want slots.
+func (sp *SlotPool) FairShare(h *JobHandle) float64 {
+	total := float64(sp.Nodes() * sp.perNode)
+	sum := 0.0
+	for _, d := range sp.demandHandles() {
+		sum += d.weight
+	}
+	if sum == 0 {
+		return total
+	}
+	return total * h.weight / sum
+}
+
+// Starved returns the earliest-admitted job that has had a waiter queued
+// for at least patience while holding less than its weighted fair share,
+// together with the node its oldest qualifying waiter queues on; (nil, -1)
+// when no job starves. The preemption monitor kills for the returned node
+// so the freed slot reaches the starved waiter.
+func (sp *SlotPool) Starved(now, patience float64) (*JobHandle, int) {
+	var starved *JobHandle
+	var starvedSeq int64
+	node := -1
+	for n, q := range sp.queues {
+		for _, w := range q {
+			if w.granted || now-w.at < patience {
+				continue
+			}
+			if float64(sp.held[w.h])+1 > sp.FairShare(w.h)+1e-9 {
+				continue
+			}
+			if starved == nil || w.h.seq < starved.seq ||
+				(w.h == starved && w.seq < starvedSeq) {
+				starved, starvedSeq, node = w.h, w.seq, n
+			}
+		}
+	}
+	return starved, node
+}
+
 // PoolSet lazily creates named slot pools shared by every job admitted to
 // one queue. Engines name their pools by slot kind ("mr-map", "mr-reduce",
 // "spark-worker", "dm-o", "dm-a"), so jobs of the same engine type contend
@@ -123,6 +248,7 @@ type PoolSet struct {
 	nodes  int
 	policy Policy
 	pools  map[string]*SlotPool
+	order  []string // creation order, for deterministic iteration
 }
 
 // NewPoolSet creates an empty pool set for a cluster of nodes nodes.
@@ -134,14 +260,42 @@ func NewPoolSet(policy Policy, nodes int) *PoolSet {
 }
 
 // Pool returns the pool named kind, creating it with perNode slots per
-// node on first use. The size is fixed by the first caller; later callers
-// share the existing pool so that concurrent jobs of one engine type
-// contend for one set of slots.
+// node on first use. A later caller asking for a different perNode is a
+// bug — the sizes would silently diverge from what the caller configured —
+// so the mismatch panics; engines whose per-job slot demand legitimately
+// varies use PoolGrow instead.
 func (ps *PoolSet) Pool(kind string, perNode int) *SlotPool {
 	if sp, ok := ps.pools[kind]; ok {
+		if sp.perNode != perNode {
+			panic(fmt.Sprintf(
+				"sched: pool %q already sized at %d slots/node, caller wants %d; use PoolGrow for elastic kinds",
+				kind, sp.perNode, perNode))
+		}
 		return sp
 	}
 	sp := NewSlotPool(ps.policy, ps.nodes, perNode)
 	ps.pools[kind] = sp
+	ps.order = append(ps.order, kind)
 	return sp
+}
+
+// PoolGrow returns the pool named kind widened to at least perNode slots
+// per node, creating it on first use. Jobs with a narrower demand share
+// the wider pool.
+func (ps *PoolSet) PoolGrow(kind string, perNode int) *SlotPool {
+	sp, ok := ps.pools[kind]
+	if !ok {
+		return ps.Pool(kind, perNode)
+	}
+	sp.Grow(perNode)
+	return sp
+}
+
+// Pools returns every pool in creation order.
+func (ps *PoolSet) Pools() []*SlotPool {
+	out := make([]*SlotPool, 0, len(ps.order))
+	for _, kind := range ps.order {
+		out = append(out, ps.pools[kind])
+	}
+	return out
 }

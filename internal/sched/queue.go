@@ -24,11 +24,13 @@ type Engine interface {
 }
 
 // JobControl carries one admitted job's scheduling context: its handle for
-// slot accounting and the slot pools shared with the other jobs admitted
-// to the same queue.
+// slot accounting, the slot pools shared with the other jobs admitted to
+// the same queue, and the task tracker that owns attempt lifecycles.
 type JobControl struct {
-	handle *JobHandle
-	pools  *PoolSet
+	handle  *JobHandle
+	pools   *PoolSet
+	tracker *TaskTracker
+	slack   float64 // delay-scheduling slack for this job's Placer
 }
 
 // Handle returns the job's scheduling handle.
@@ -40,31 +42,81 @@ func (c *JobControl) Pool(kind string, perNode int) *SlotPool {
 	return c.pools.Pool(kind, perNode)
 }
 
+// PoolGrow returns the shared slot pool named kind widened to at least
+// perNode slots per node (see PoolSet.PoolGrow).
+func (c *JobControl) PoolGrow(kind string, perNode int) *SlotPool {
+	return c.pools.PoolGrow(kind, perNode)
+}
+
+// Launch routes one task through the queue's task tracker under this
+// job's handle. Engines submit every map/reduce/O/A-style task body here
+// so attempts are observable, cancellable and retryable.
+func (c *JobControl) Launch(ts TaskSpec) {
+	ts.Handle = c.handle
+	c.tracker.Launch(ts)
+}
+
+// Placer returns the block placer for this job, carrying the queue's
+// delay-scheduling slack.
+func (c *JobControl) Placer() Placer {
+	return Placer{Nodes: c.pools.nodes, LocalitySlack: c.slack}
+}
+
+// Tracker returns the shared task tracker.
+func (c *JobControl) Tracker() *TaskTracker { return c.tracker }
+
 // Solo returns the control for a job that owns the whole testbed: a fresh
-// pool set and handle with no other jobs to contend with. The engines'
-// plain Run paths use it, which makes single-job execution identical to
-// the pre-sched per-engine semaphores.
-func Solo(nodes int) *JobControl {
+// pool set, a tracker with speculation and preemption off, and a handle
+// with no other jobs to contend with. The engines' plain Run paths use
+// it, which makes single-job execution identical to the pre-sched
+// per-engine schedulers.
+func Solo(eng *sim.Engine, nodes int) *JobControl {
 	return &JobControl{
-		handle: &JobHandle{name: "solo", weight: 1},
-		pools:  NewPoolSet(FIFO, nodes),
+		handle:  &JobHandle{name: "solo", weight: 1},
+		pools:   NewPoolSet(FIFO, nodes),
+		tracker: NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{}),
 	}
 }
 
 // Queue admits whole jobs onto one simulated testbed so they execute
 // concurrently, contending for slots under the queue's policy and for the
-// simulated resources (CPU, disk, network, memory) beneath them.
+// simulated resources (CPU, disk, network, memory) beneath them. Its
+// tracker owns every admitted job's task attempts, enabling speculative
+// execution and preemption across jobs.
 type Queue struct {
 	eng     *sim.Engine
 	pools   *PoolSet
+	tracker *TaskTracker
+	slack   float64
 	subs    []*Submission
 	nextSeq int
 }
 
 // NewQueue creates a queue over a simulation engine and cluster size.
 func NewQueue(eng *sim.Engine, nodes int, policy Policy) *Queue {
-	return &Queue{eng: eng, pools: NewPoolSet(policy, nodes)}
+	return &Queue{
+		eng:     eng,
+		pools:   NewPoolSet(policy, nodes),
+		tracker: NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{}),
+	}
 }
+
+// SetSpeculation enables/configures speculative execution for every job
+// submitted to the queue. Call before Run.
+func (q *Queue) SetSpeculation(c SpeculationConfig) { q.tracker.SetSpeculation(c) }
+
+// SetPreemption enables/configures Fair-policy slot preemption for every
+// job submitted to the queue. Call before Run.
+func (q *Queue) SetPreemption(c PreemptionConfig) { q.tracker.SetPreemption(c) }
+
+// SetLocalitySlack sets the delay-scheduling slack every submitted job's
+// Placer uses (fraction of a balanced wave a node may exceed for
+// locality; see Placer.LocalitySlack). Call before submitting.
+func (q *Queue) SetLocalitySlack(slack float64) { q.slack = slack }
+
+// TrackerStats returns the task-lifecycle counters (backups, kills,
+// preemptions) accumulated across all submitted jobs.
+func (q *Queue) TrackerStats() TrackerStats { return q.tracker.Stats() }
 
 // Submission tracks one admitted job until its result is available.
 type Submission struct {
@@ -82,17 +134,28 @@ func (s *Submission) Done() bool { return s.done }
 // Result returns the job's result; only meaningful after the queue ran.
 func (s *Submission) Result() job.Result { return s.res }
 
-// Submit admits a job at the current simulated time.
+// Submit admits a job at the current simulated time with weight 1.
 func (q *Queue) Submit(e Engine, spec job.Spec) *Submission {
-	return q.SubmitAfter(0, e, spec)
+	return q.SubmitWeighted(0, 1, e, spec)
 }
 
-// SubmitAfter admits a job delay simulated seconds from now, modeling
-// staggered arrivals. FIFO priority follows admission (simulated) time: a
-// delayed job ranks behind jobs that actually started before it.
+// SubmitAfter admits a weight-1 job delay simulated seconds from now,
+// modeling staggered arrivals. FIFO priority follows admission (simulated)
+// time: a delayed job ranks behind jobs that actually started before it.
 func (q *Queue) SubmitAfter(delay float64, e Engine, spec job.Spec) *Submission {
-	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: 1}
-	ctl := &JobControl{handle: h, pools: q.pools}
+	return q.SubmitWeighted(delay, 1, e, spec)
+}
+
+// SubmitWeighted admits a job delay simulated seconds from now with the
+// given fair-share weight: under the Fair policy a weight-2 job receives
+// twice the slots of a weight-1 job when both contend (production job
+// tiers). Weights at or below zero are treated as 1.
+func (q *Queue) SubmitWeighted(delay, weight float64, e Engine, spec job.Spec) *Submission {
+	if weight <= 0 {
+		weight = 1
+	}
+	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: weight}
+	ctl := &JobControl{handle: h, pools: q.pools, tracker: q.tracker, slack: q.slack}
 	sub := &Submission{name: h.name}
 	start := func() {
 		h.seq = q.nextSeq

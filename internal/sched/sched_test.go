@@ -80,14 +80,23 @@ func TestPlacerLocalitySlack(t *testing.T) {
 	if load[0] != 4 || load[1] != 4 {
 		t.Fatalf("strict balance: load = %v, want 4/4", load)
 	}
-	slack := Placer{Nodes: 2, LocalitySlack: 2}.Place(blocks)
+	slack := Placer{Nodes: 2, LocalitySlack: 0.5}.Place(blocks)
 	load = map[int]int{}
 	for _, n := range slack {
 		load[n]++
 	}
-	// Delay-scheduling slack lets node 0 take wave cap (4) + slack (2).
+	// Half a wave of slack lets node 0 take wave cap (4) + 0.5·4 = 6.
 	if load[0] != 6 || load[1] != 2 {
 		t.Fatalf("slack placement: load = %v, want 6/2", load)
+	}
+	full := Placer{Nodes: 2, LocalitySlack: 1}.Place(blocks)
+	load = map[int]int{}
+	for _, n := range full {
+		load[n]++
+	}
+	// A full wave of slack lets the replica holder absorb everything.
+	if load[0] != 8 {
+		t.Fatalf("full-slack placement: load = %v, want all on node 0", load)
 	}
 }
 

@@ -1,0 +1,549 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// SpeculationConfig tunes straggler detection and speculative backup
+// attempts (Hadoop's speculative execution, paper Section 2.1). The zero
+// value disables speculation; enabling it fills unset knobs with the
+// defaults documented per field.
+type SpeculationConfig struct {
+	// Enabled turns the straggler monitor on.
+	Enabled bool
+	// SlowFraction flags a running attempt whose progress rate falls below
+	// this fraction of the job's median completed-attempt rate (default
+	// 0.5). Rates are progress per simulated second; a completed attempt's
+	// rate is 1/duration.
+	SlowFraction float64
+	// MinRuntime is the age below which an attempt is never judged
+	// (default 10s), mirroring Hadoop's speculative-execution grace.
+	MinRuntime float64
+	// CheckInterval is the monitor period (default 5s).
+	CheckInterval float64
+	// MaxBackupsPerTask caps speculative attempts per task (default 1).
+	MaxBackupsPerTask int
+	// MinCompleted is how many attempts of a task's group must have
+	// finished before the group's median is trusted (default 3).
+	MinCompleted int
+}
+
+func (c SpeculationConfig) withDefaults() SpeculationConfig {
+	if c.SlowFraction <= 0 {
+		c.SlowFraction = 0.5
+	}
+	if c.MinRuntime <= 0 {
+		c.MinRuntime = 10
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 5
+	}
+	if c.MaxBackupsPerTask <= 0 {
+		c.MaxBackupsPerTask = 1
+	}
+	if c.MinCompleted <= 0 {
+		c.MinCompleted = 3
+	}
+	return c
+}
+
+// PreemptionConfig tunes slot preemption under the Fair policy: when a
+// starved job has waited past Patience while holding less than its
+// weighted fair share, the tracker kills the newest restartable attempt
+// of an over-share job on the starved node and requeues the task. The
+// zero value disables preemption.
+type PreemptionConfig struct {
+	// Enabled turns the preemption monitor on.
+	Enabled bool
+	// Patience is how long a waiter must starve before the tracker kills
+	// for it (default 30s).
+	Patience float64
+	// CheckInterval is the monitor period (default 5s).
+	CheckInterval float64
+}
+
+func (c PreemptionConfig) withDefaults() PreemptionConfig {
+	if c.Patience <= 0 {
+		c.Patience = 30
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 5
+	}
+	return c
+}
+
+// TaskSpec describes one logical task routed through the TaskTracker.
+// The engine supplies restartable callbacks; the tracker owns the attempt
+// lifecycle around them.
+type TaskSpec struct {
+	// Name is the task's process name; backup and requeued attempts get a
+	// "#<index>" suffix.
+	Name string
+	// Node is the preferred node (from the Placer) for the first attempt
+	// and for requeued attempts after preemption.
+	Node int
+	// Pool supplies the task's slot; Handle is the owning job (injected by
+	// JobControl.Launch).
+	Pool   *SlotPool
+	Handle *JobHandle
+	// Group keys straggler statistics: attempts are judged against the
+	// median rate of completed attempts with the same (job, Group), e.g.
+	// all of one job's map tasks.
+	Group string
+	// Restartable marks the Body safe to run more than once (it re-derives
+	// everything from immutable inputs and publishes results only through
+	// Done). Only restartable tasks get speculative backups or are
+	// preemption victims.
+	Restartable bool
+	// Pre runs in the first attempt's proc before slot acquisition (e.g.
+	// the reduce slow-start wait). Returning true skips the task: Final
+	// runs, Body/Done/Fail do not. Later attempts never run Pre — any
+	// admission gate has by then been passed.
+	Pre func(p *sim.Proc) bool
+	// Body executes one attempt and returns the task's result. It must be
+	// side-effect-free on shared job state when Restartable (losing
+	// attempts are cancelled mid-flight and their partial work discarded).
+	// Long-running bodies should call att.Report at milestones so the
+	// straggler monitor sees progress.
+	Body func(p *sim.Proc, att *Attempt) (any, error)
+	// Done runs exactly once per task, in the winning attempt's proc while
+	// it still holds its slot: output commit (may consume simulated time)
+	// and job accounting. A non-nil error fails the task.
+	Done func(p *sim.Proc, v any, att *Attempt) error
+	// Discard releases a completed attempt's result when a sibling settled
+	// the task first (a photo finish): resources the Body handed off for
+	// Done to release must be freed here instead. Optional.
+	Discard func(v any)
+	// Fail runs exactly once if the winning attempt's Body or Done errored.
+	Fail func(err error)
+	// Final runs exactly once per task, after the slot is released — the
+	// engine's completion bookkeeping (e.g. WaitGroup.Done).
+	Final func()
+}
+
+// Attempt is one execution of a task on one node. The tracker records its
+// start time and progress to detect stragglers.
+type Attempt struct {
+	task     *trackedTask
+	proc     *sim.Proc
+	node     int
+	index    int
+	backup   bool
+	start    float64
+	end      float64
+	progress float64
+	started  bool // slot granted, body running
+	finished bool
+	killed   bool
+	won      bool
+}
+
+// Node returns the node this attempt runs on.
+func (a *Attempt) Node() int { return a.node }
+
+// Index returns the attempt's ordinal within its task (0 = original).
+func (a *Attempt) Index() int { return a.index }
+
+// Backup reports whether this is a speculative backup attempt.
+func (a *Attempt) Backup() bool { return a.backup }
+
+// Report records the attempt's progress as a fraction in [0,1]. Progress
+// is monotonic; stale or out-of-range reports are clamped.
+func (a *Attempt) Report(frac float64) {
+	if frac > 1 {
+		frac = 1
+	}
+	if frac > a.progress {
+		a.progress = frac
+	}
+}
+
+type trackedTask struct {
+	spec     TaskSpec
+	attempts []*Attempt
+	settled  bool // a result (or skip/failure) has been delivered
+	backups  int
+}
+
+// TrackerStats counts lifecycle events for reporting.
+type TrackerStats struct {
+	Tasks       int // logical tasks launched
+	Backups     int // speculative backup attempts spawned
+	BackupWins  int // tasks won by a backup attempt
+	Kills       int // attempts cancelled (lost races + preemptions)
+	Preemptions int // attempts killed (and requeued) to feed a starved job
+}
+
+// TaskTracker owns task attempts for every job admitted to one queue: it
+// records per-attempt start time and progress, launches speculative
+// backups for stragglers, resolves first-finisher-wins with loser
+// cancellation, and preempts over-share jobs under the Fair policy. With
+// speculation and preemption disabled it adds no simulation events, so
+// single-job runs stay bit-identical to the pre-tracker engines.
+type TaskTracker struct {
+	eng   *sim.Engine
+	spec  SpeculationConfig
+	pre   PreemptionConfig
+	tasks []*trackedTask // unsettled tasks, launch order (compacted by tick)
+	pools []*SlotPool
+	seen  map[*SlotPool]bool
+
+	// groups accumulates completed-attempt rates and durations per
+	// (job, kind) as tasks settle, so monitor ticks never rescan history.
+	groups map[groupKey]*groupStat
+
+	outstanding int
+	timer       *sim.Timer
+	stats       TrackerStats
+}
+
+// groupKey scopes straggler statistics to one job's task kind.
+type groupKey struct {
+	h     *JobHandle
+	group string
+}
+
+type groupStat struct{ rates, durs []float64 }
+
+// NewTaskTracker creates a tracker over the simulation engine. The zero
+// configs disable speculation and preemption.
+func NewTaskTracker(eng *sim.Engine, spec SpeculationConfig, pre PreemptionConfig) *TaskTracker {
+	t := &TaskTracker{eng: eng, seen: make(map[*SlotPool]bool), groups: make(map[groupKey]*groupStat)}
+	t.SetSpeculation(spec)
+	t.SetPreemption(pre)
+	return t
+}
+
+// SetSpeculation installs the speculation config (unset knobs take
+// defaults). Call before the simulation runs.
+func (t *TaskTracker) SetSpeculation(c SpeculationConfig) {
+	if c.Enabled {
+		c = c.withDefaults()
+	}
+	t.spec = c
+}
+
+// SetPreemption installs the preemption config (unset knobs take
+// defaults). Call before the simulation runs.
+func (t *TaskTracker) SetPreemption(c PreemptionConfig) {
+	if c.Enabled {
+		c = c.withDefaults()
+	}
+	t.pre = c
+}
+
+// Stats returns the lifecycle counters accumulated so far.
+func (t *TaskTracker) Stats() TrackerStats { return t.stats }
+
+// Launch admits one task and spawns its first attempt on its preferred
+// node. The attempt acquires a slot from the task's pool, runs Body, and
+// on first finish delivers Done/Fail then Final exactly once.
+func (t *TaskTracker) Launch(ts TaskSpec) {
+	if ts.Pool == nil || ts.Handle == nil || ts.Body == nil {
+		panic("sched: TaskSpec needs Pool, Handle and Body")
+	}
+	task := &trackedTask{spec: ts}
+	t.tasks = append(t.tasks, task)
+	t.outstanding++
+	t.stats.Tasks++
+	if !t.seen[ts.Pool] {
+		t.seen[ts.Pool] = true
+		t.pools = append(t.pools, ts.Pool)
+	}
+	t.spawn(task, ts.Node, false)
+	t.arm()
+}
+
+// spawn starts one attempt of task on node.
+func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
+	att := &Attempt{task: task, node: node, index: len(task.attempts), backup: backup}
+	task.attempts = append(task.attempts, att)
+	name := task.spec.Name
+	if att.index > 0 {
+		name = fmt.Sprintf("%s#%d", name, att.index)
+	}
+	att.proc = t.eng.Go(name, func(p *sim.Proc) {
+		p.Node = node
+		holding := false
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if !sim.IsKilled(r) {
+				panic(r)
+			}
+			// Cancelled attempt: the body's own defers have run; hand the
+			// slot back (Acquire cleans up after itself if the kill landed
+			// while queued) and let the proc die.
+			att.finished = true
+			if holding {
+				task.spec.Pool.Release(node, task.spec.Handle)
+			}
+		}()
+		if att.index == 0 && task.spec.Pre != nil && task.spec.Pre(p) {
+			// Admission gate says skip (e.g. the job already failed):
+			// settle without running the body or taking a slot.
+			att.finished = true
+			t.settle(task)
+			if task.spec.Final != nil {
+				task.spec.Final()
+			}
+			return
+		}
+		task.spec.Pool.Acquire(p, node, task.spec.Handle, "slot")
+		holding = true
+		att.start = p.Engine().Now()
+		att.started = true
+		v, err := task.spec.Body(p, att)
+		att.progress = 1
+		att.end = p.Engine().Now()
+		att.finished = true
+		if task.settled {
+			// Photo finish: a sibling settled the task while this attempt
+			// was past its last park point. Discard quietly.
+			if err == nil && task.spec.Discard != nil {
+				task.spec.Discard(v)
+			}
+			task.spec.Pool.Release(node, task.spec.Handle)
+			holding = false
+			return
+		}
+		t.settle(task)
+		t.cancelSiblings(task, att)
+		if err == nil {
+			att.won = true
+			t.recordWin(task, att)
+			if att.backup {
+				t.stats.BackupWins++
+			}
+			if task.spec.Done != nil {
+				err = task.spec.Done(p, v, att)
+			}
+		}
+		if err != nil && task.spec.Fail != nil {
+			task.spec.Fail(err)
+		}
+		task.spec.Pool.Release(node, task.spec.Handle)
+		holding = false
+		if task.spec.Final != nil {
+			task.spec.Final()
+		}
+	})
+}
+
+// settle marks a task resolved and, when it was the last outstanding one,
+// cancels the pending monitor tick so the simulation clock is not held
+// open past job completion.
+func (t *TaskTracker) settle(task *trackedTask) {
+	task.settled = true
+	t.outstanding--
+	if t.outstanding == 0 && t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+}
+
+// recordWin folds the winning attempt's rate and duration into its
+// group's straggler statistics.
+func (t *TaskTracker) recordWin(task *trackedTask, att *Attempt) {
+	d := att.end - att.start
+	if d <= 0 {
+		d = 1e-9
+	}
+	key := groupKey{task.spec.Handle, task.spec.Group}
+	g := t.groups[key]
+	if g == nil {
+		g = &groupStat{}
+		t.groups[key] = g
+	}
+	g.rates = append(g.rates, 1/d)
+	g.durs = append(g.durs, d)
+}
+
+// cancelSiblings kills every other in-flight attempt of a settled task.
+func (t *TaskTracker) cancelSiblings(task *trackedTask, winner *Attempt) {
+	for _, sib := range task.attempts {
+		if sib == winner || sib.finished {
+			continue
+		}
+		sib.killed = true
+		sib.proc.Cancel()
+		t.stats.Kills++
+	}
+}
+
+// interval returns the monitor period, 0 when nothing is enabled.
+func (t *TaskTracker) interval() float64 {
+	iv := math.Inf(1)
+	if t.spec.Enabled {
+		iv = math.Min(iv, t.spec.CheckInterval)
+	}
+	if t.pre.Enabled {
+		iv = math.Min(iv, t.pre.CheckInterval)
+	}
+	if math.IsInf(iv, 1) {
+		return 0
+	}
+	return iv
+}
+
+// arm schedules the next monitor tick if monitoring is enabled and a tick
+// is not already pending. The monitor disarms itself whenever no task is
+// outstanding so the event queue can drain (Launch re-arms it).
+func (t *TaskTracker) arm() {
+	if t.timer != nil || t.eng == nil || t.outstanding == 0 {
+		return
+	}
+	iv := t.interval()
+	if iv <= 0 {
+		return
+	}
+	t.timer = t.eng.Schedule(iv, t.tick)
+}
+
+func (t *TaskTracker) tick() {
+	t.timer = nil
+	if t.outstanding == 0 {
+		return
+	}
+	// Compact settled tasks out of the scan set (launch order preserved):
+	// the monitors only care about live attempts, and completed-task
+	// statistics already live in t.groups.
+	live := t.tasks[:0]
+	for _, task := range t.tasks {
+		if !task.settled {
+			live = append(live, task)
+		}
+	}
+	t.tasks = live
+	if t.spec.Enabled {
+		t.speculate()
+	}
+	if t.pre.Enabled {
+		t.preempt()
+	}
+	t.arm()
+}
+
+// speculate scans running attempts for stragglers and launches backup
+// attempts on alternate nodes.
+func (t *TaskTracker) speculate() {
+	now := t.eng.Now()
+	for _, task := range t.tasks {
+		if task.settled || !task.spec.Restartable || task.backups >= t.spec.MaxBackupsPerTask {
+			continue
+		}
+		g := t.groups[groupKey{task.spec.Handle, task.spec.Group}]
+		if g == nil || len(g.rates) < t.spec.MinCompleted {
+			continue
+		}
+		medianRate, medianDur := median(g.rates), median(g.durs)
+		for _, a := range task.attempts {
+			if !a.started || a.finished {
+				continue
+			}
+			elapsed := now - a.start
+			// Judge only attempts that have outlived both the grace period
+			// and the median task: a healthy attempt mid-run reads slow on
+			// coarse milestone progress, but it also finishes near the
+			// median, so age gates the false positives out.
+			if elapsed < t.spec.MinRuntime || elapsed < medianDur {
+				continue
+			}
+			if a.progress/elapsed >= t.spec.SlowFraction*medianRate {
+				continue
+			}
+			node := t.backupNode(task)
+			if node < 0 {
+				continue
+			}
+			task.backups++
+			t.stats.Backups++
+			t.spawn(task, node, true)
+			break
+		}
+	}
+}
+
+// backupNode picks the node for a speculative attempt: not yet used by
+// any attempt of the task, preferring the most free slots (lowest index
+// on ties). Returns -1 when every node already hosts an attempt.
+func (t *TaskTracker) backupNode(task *trackedTask) int {
+	used := make(map[int]bool, len(task.attempts))
+	for _, a := range task.attempts {
+		used[a.node] = true
+	}
+	pool := task.spec.Pool
+	best := -1
+	for node := 0; node < pool.Nodes(); node++ {
+		if used[node] {
+			continue
+		}
+		if best < 0 || pool.Free(node) > pool.Free(best) {
+			best = node
+		}
+	}
+	return best
+}
+
+// preempt reclaims slots for starved jobs in Fair pools: it kills the
+// newest restartable attempt of an over-share job on the starved node and
+// requeues the task on its preferred node.
+func (t *TaskTracker) preempt() {
+	now := t.eng.Now()
+	for _, pool := range t.pools {
+		if pool.Policy() != Fair {
+			continue
+		}
+		starved, node := pool.Starved(now, t.pre.Patience)
+		if starved == nil {
+			continue
+		}
+		var victim *Attempt
+		var vtask *trackedTask
+		for _, task := range t.tasks {
+			if task.settled || !task.spec.Restartable || task.spec.Pool != pool {
+				continue
+			}
+			h := task.spec.Handle
+			if h == starved {
+				continue
+			}
+			// The victim's job must stay at or above its weighted fair
+			// share after losing one slot — preemption rebalances, it
+			// never starves the victim in turn.
+			if float64(pool.Held(h)-1) < pool.FairShare(h)-1e-9 {
+				continue
+			}
+			for _, a := range task.attempts {
+				if !a.started || a.finished || a.node != node {
+					continue
+				}
+				if victim == nil || a.start >= victim.start {
+					victim, vtask = a, task
+				}
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		victim.killed = true
+		victim.proc.Cancel()
+		t.stats.Kills++
+		t.stats.Preemptions++
+		t.spawn(vtask, vtask.spec.Node, false)
+	}
+}
+
+// median returns the lower-middle element — deterministic and robust for
+// the small samples the monitor sees.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}

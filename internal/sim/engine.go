@@ -165,16 +165,64 @@ func (e *Engine) RunUntil(deadline float64) int {
 // the kernel. Proc methods that block (Sleep, resource waits) must only be
 // called from the proc's own goroutine.
 type Proc struct {
-	eng  *Engine
-	name string
-	wake chan struct{}
-	dead bool
+	eng        *Engine
+	name       string
+	wake       chan struct{}
+	dead       bool
+	parked     bool
+	cancelled  bool
+	unwinding  bool
+	sleepTimer *Timer // pending Sleep wake-up, cancelled if the proc is killed
 
 	// BlockReason is set while the proc is parked; used by the metrics
 	// sampler to attribute blocked time (e.g. CPU-wait-IO accounting).
 	BlockReason string
 	// Node is an opaque tag (typically a node index) used by metrics.
 	Node int
+}
+
+// killed is the panic sentinel that unwinds a cancelled proc so its
+// deferred cleanup (memory frees, slot releases) runs before it dies.
+type killed struct{ p *Proc }
+
+// IsKilled reports whether a recovered panic value is a proc-cancellation
+// unwind. Intermediate frames that recover to clean up must re-panic any
+// value for which IsKilled is false.
+func IsKilled(r any) bool { _, ok := r.(killed); return ok }
+
+// Cancel marks the proc for termination. The proc observes the
+// cancellation at its next Park or Sleep boundary (waking it if currently
+// parked) and unwinds through its deferred cleanup before exiting; work
+// already submitted to fluid resources drains in the background, modeling
+// a kill that takes effect at the task's next scheduling point.
+// Cancelling a dead or already-cancelled proc is a no-op. Must be called
+// from kernel context or another proc, never from the target itself.
+func (p *Proc) Cancel() {
+	if p.dead || p.cancelled {
+		return
+	}
+	p.cancelled = true
+	if p.parked {
+		p.Unpark()
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the proc. Task code
+// can poll it between park points to stop early.
+func (p *Proc) Cancelled() bool { return p.cancelled }
+
+// checkKilled starts the kill unwind if the proc has been cancelled. A
+// pending sleep timer is cancelled so it cannot hold the event queue open
+// as a ghost wake-up for the dead proc.
+func (p *Proc) checkKilled() {
+	if p.cancelled && !p.unwinding {
+		p.unwinding = true
+		if p.sleepTimer != nil {
+			p.sleepTimer.Cancel()
+			p.sleepTimer = nil
+		}
+		panic(killed{p})
+	}
 }
 
 // Name returns the debug name given to Go.
@@ -204,7 +252,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.nlive++
 	go func() {
 		<-p.wake // wait for the kernel to start us
-		fn(p)
+		runProc(p, fn)
 		p.dead = true
 		delete(e.procs, p)
 		e.nlive--
@@ -212,6 +260,21 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	}()
 	e.Schedule(0, func() { e.resume(p) })
 	return p
+}
+
+// runProc executes the proc body, absorbing the kill unwind of a cancelled
+// proc (any other panic propagates). A proc cancelled before its first
+// resume never runs its body.
+func runProc(p *Proc, fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil && !IsKilled(r) {
+			panic(r)
+		}
+	}()
+	if p.cancelled {
+		return
+	}
+	fn(p)
 }
 
 // resume transfers control to p and blocks until p parks again or exits.
@@ -229,13 +292,25 @@ func (e *Engine) resume(p *Proc) {
 // reason preserves a reason the caller already set on BlockReason (so a
 // task can label a composite wait, e.g. "disk", before blocking on a
 // WaitGroup).
+//
+// Park is a cancellation boundary: a cancelled proc starts its kill unwind
+// here instead of blocking (and on wake, if cancelled while parked).
+// During the unwind itself Park returns immediately so deferred cleanup
+// can never block a dying proc.
 func (p *Proc) Park(reason string) {
+	if p.unwinding {
+		return
+	}
+	p.checkKilled()
 	if reason != "" {
 		p.BlockReason = reason
 	}
+	p.parked = true
 	p.eng.parked <- struct{}{}
 	<-p.wake
+	p.parked = false
 	p.BlockReason = ""
+	p.checkKilled()
 }
 
 // Unpark schedules p to be resumed at the current simulated time. It is the
@@ -246,16 +321,24 @@ func (p *Proc) Unpark() {
 	e.Schedule(0, func() { e.resume(p) })
 }
 
-// Sleep suspends the proc for d simulated seconds.
+// Sleep suspends the proc for d simulated seconds. Like Park, it is a
+// cancellation boundary: a cancelled proc unwinds here instead of
+// sleeping, and a proc already unwinding returns immediately.
 func (p *Proc) Sleep(d float64) {
-	if d <= 0 {
-		// Yield: reschedule after already-queued same-time events.
-		p.eng.Schedule(0, func() { p.eng.resume(p) })
-		p.Park("yield")
+	if p.unwinding {
 		return
 	}
-	p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.checkKilled()
+	if d <= 0 {
+		// Yield: reschedule after already-queued same-time events.
+		p.sleepTimer = p.eng.Schedule(0, func() { p.eng.resume(p) })
+		p.Park("yield")
+		p.sleepTimer = nil
+		return
+	}
+	p.sleepTimer = p.eng.Schedule(d, func() { p.eng.resume(p) })
 	p.Park("sleep")
+	p.sleepTimer = nil
 }
 
 // WaitGroup is a simulation-aware analogue of sync.WaitGroup: procs block
@@ -304,14 +387,19 @@ func (c *Cond) Wait(p *Proc, reason string) {
 	p.Park(reason)
 }
 
-// Signal wakes the longest-waiting proc, if any.
+// Signal wakes the longest-waiting live proc, if any. Dead or cancelled
+// waiters (already woken by Cancel) are skipped so a signal is never lost
+// on a proc that can no longer consume it.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	for len(c.waiters) > 0 {
+		p := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if p.dead || p.cancelled {
+			continue
+		}
+		p.Unpark()
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	p.Unpark()
 }
 
 // Broadcast wakes all waiting procs in FIFO order.

@@ -77,6 +77,20 @@ func (r *PSResource) Name() string { return r.name }
 // Capacity returns the resource capacity in units per second.
 func (r *PSResource) Capacity() float64 { return r.capacity }
 
+// Rescale multiplies the resource's capacity and per-flow cap by factor,
+// re-splitting in-flight flows at the new rates from the current instant.
+// Factors below 1 model degraded hardware (a thermally-throttled CPU, a
+// failing disk); the cluster layer's SlowNode perturbation is built on it.
+func (r *PSResource) Rescale(factor float64) {
+	if factor <= 0 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("sim: %s: Rescale factor must be positive, got %v", r.name, factor))
+	}
+	r.advance()
+	r.capacity *= factor
+	r.perFlowCap *= factor
+	r.reallocate()
+}
+
 // Use consumes amount units, blocking the proc until the work completes
 // under fair sharing with all concurrent users. reason labels the proc's
 // blocked state for metrics.
