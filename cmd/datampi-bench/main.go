@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"github.com/datampi/datampi-go/internal/harness"
+	"github.com/datampi/datampi-go/internal/sim"
 )
 
 func main() {
@@ -41,7 +44,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N] [-fidelity fast|reference] [-cpuprofile F] [-memprofile F]")
 }
 
 func runCmd(args []string) {
@@ -51,9 +54,12 @@ func runCmd(args []string) {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	plots := fs.Bool("plots", false, "render ASCII time-series plots for the fig4 experiments")
 	seed := fs.Int64("seed", 0, "data generation seed (0 = default)")
+	fidelity := fs.String("fidelity", "fast", "simulation kernel fidelity: fast (incremental allocators) or reference (original rescan allocators)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof allocation profile (after the runs) to this file")
 
 	var ids []string
-	for len(args) > 0 && args[0][0] != '-' {
+	for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
 		ids = append(ids, args[0])
 		args = args[1:]
 	}
@@ -72,25 +78,73 @@ func runCmd(args []string) {
 		sort.Strings(ids)
 	}
 
-	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed}
+	fid, ok := sim.ParseFidelity(*fidelity)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fidelity %q (want fast or reference)\n", *fidelity)
+		os.Exit(2)
+	}
+	exps := make([]harness.Experiment, 0, len(ids))
 	for _, id := range ids {
 		exp, ok := harness.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: datampi-bench list)\n", id)
 			os.Exit(1)
 		}
+		exps = append(exps, exp)
+	}
+
+	// The experiments run inside a closure so the pprof teardown defers
+	// always flush — even when an experiment fails — before os.Exit.
+	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed, Fidelity: fid}
+	code := func() int {
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				return 1
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			defer func() {
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				}
+			}()
+		}
+		return runExperiments(exps, opt, *csv, *plots)
+	}()
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+func runExperiments(exps []harness.Experiment, opt harness.Options, csv, plots bool) int {
+	for _, exp := range exps {
 		start := time.Now()
 		rep, err := exp.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
+			return 1
 		}
-		if *csv {
+		if csv {
 			fmt.Printf("# %s — %s\n%s\n", rep.ID, rep.Title, rep.CSV())
 		} else {
 			fmt.Println(rep.Render())
 		}
-		if *plots && len(rep.Series) > 0 {
+		if plots && len(rep.Series) > 0 {
 			keys := make([]string, 0, len(rep.Series))
 			for k := range rep.Series {
 				keys = append(keys, k)
@@ -101,8 +155,9 @@ func runCmd(args []string) {
 				fmt.Printf("--- %s ---\n%s", k, rep.Series[k].RenderASCII(metric, 72, 10))
 			}
 		}
-		fmt.Printf("(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", exp.ID, time.Since(start).Seconds())
 	}
+	return 0
 }
 
 func indexByteAfterSlash(s string) int {

@@ -37,6 +37,7 @@ import (
 	"github.com/datampi/datampi-go/internal/mr"
 	"github.com/datampi/datampi-go/internal/rdd"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/sim"
 )
 
 // Byte-size constants.
@@ -89,6 +90,21 @@ type (
 	// TrackerStats reports task-lifecycle counters (speculative backups,
 	// kills, preemptions) via Queue.TrackerStats.
 	TrackerStats = sched.TrackerStats
+	// Fidelity selects the simulation kernel's fluid allocators
+	// (FidelityFast or FidelityReference).
+	Fidelity = sim.Fidelity
+)
+
+// Kernel fidelities for TestbedConfig.Fidelity.
+const (
+	// FidelityFast (the default) runs the incremental O(log n)
+	// allocators: virtual-time processor sharing and the dirty-component
+	// max-min fabric.
+	FidelityFast = sim.FidelityFast
+	// FidelityReference runs the original full-rescan allocators — the
+	// executable spec the fast path is differenced against, and the path
+	// the golden-timing pins were captured on.
+	FidelityReference = sim.FidelityReference
 )
 
 // Queue scheduling policies.
@@ -121,6 +137,11 @@ type TestbedConfig struct {
 	Scale float64
 	// Seed drives replica placement and data generation.
 	Seed int64
+	// Fidelity selects the simulation kernel's fluid allocators: the
+	// zero value is the fast incremental path (FidelityFast);
+	// FidelityReference runs the original rescan allocators. Results
+	// agree within floating-point noise either way.
+	Fidelity Fidelity
 }
 
 // Testbed bundles a simulated cluster and its filesystem.
@@ -136,7 +157,7 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 	if tc.Nodes > 0 {
 		hw.Nodes = tc.Nodes
 	}
-	c := cluster.New(hw)
+	c := cluster.NewWith(hw, tc.Fidelity)
 	cfg := dfs.DefaultConfig()
 	if tc.BlockSize > 0 {
 		cfg.BlockSize = tc.BlockSize

@@ -76,9 +76,19 @@ type Cluster struct {
 	Net   *sim.Fabric
 }
 
-// New builds a cluster on a fresh simulation engine.
+// New builds a cluster on a fresh simulation engine with the default
+// (fast) kernel fidelity.
 func New(hw Hardware) *Cluster {
 	eng := sim.NewEngine()
+	return NewOn(eng, hw)
+}
+
+// NewWith builds a cluster on a fresh engine with the given kernel
+// fidelity — FidelityReference selects the original full-rescan fluid
+// allocators that the golden-timing pins were captured against.
+func NewWith(hw Hardware, f sim.Fidelity) *Cluster {
+	eng := sim.NewEngine()
+	eng.SetFidelity(f)
 	return NewOn(eng, hw)
 }
 

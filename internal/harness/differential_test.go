@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// The differential battery pins the fast incremental kernel to the
+// reference allocators: every scenario runs under both sim.Fidelity
+// settings and all per-job completion times must agree within relTol
+// relative. It is the license for FidelityFast to be the default.
+
+const relTol = 1e-6
+
+// assertClose compares two per-job timing vectors labeled for diagnosis.
+func assertClose(t *testing.T, scenario string, fast, ref []float64) {
+	t.Helper()
+	if len(fast) != len(ref) {
+		t.Fatalf("%s: fast produced %d timings, reference %d", scenario, len(fast), len(ref))
+	}
+	for i := range fast {
+		denom := math.Abs(ref[i])
+		if denom < 1 {
+			denom = 1
+		}
+		if rel := math.Abs(fast[i]-ref[i]) / denom; rel > relTol {
+			t.Errorf("%s[%d]: fast %.12g vs reference %.12g (rel %.3g > %g)",
+				scenario, i, fast[i], ref[i], rel, relTol)
+		}
+	}
+}
+
+// battery runs fn under both fidelities and compares the timings.
+func battery(t *testing.T, scenario string, fn func(f sim.Fidelity) []float64) {
+	t.Helper()
+	fast := fn(sim.FidelityFast)
+	ref := fn(sim.FidelityReference)
+	assertClose(t, scenario, fast, ref)
+}
+
+// TestDifferentialSoloJobs runs each mix job alone per framework.
+func TestDifferentialSoloJobs(t *testing.T) {
+	jobs := mixJobs()
+	nominal := 2.0 * cluster.GB
+	for _, fw := range []Framework{Hadoop, Spark, DataMPI} {
+		fw := fw
+		t.Run(fw.String(), func(t *testing.T) {
+			battery(t, "solo/"+fw.String(), func(f sim.Fidelity) []float64 {
+				rc := RigConfig{Scale: 8192, Seed: 1, Fidelity: f}
+				var times []float64
+				for ji := range jobs {
+					res, err := runMixAlone(fw, rc, jobs, nominal, ji)
+					if err != nil {
+						t.Fatal(err)
+					}
+					times = append(times, res.Start, res.End, res.Elapsed)
+				}
+				return times
+			})
+		})
+	}
+}
+
+// TestDifferentialMix co-schedules the three-job mix under both queue
+// policies on each framework.
+func TestDifferentialMix(t *testing.T) {
+	jobs := mixJobs()
+	nominal := 2.0 * cluster.GB
+	for _, fw := range []Framework{Hadoop, Spark, DataMPI} {
+		for _, policy := range []sched.Policy{sched.FIFO, sched.Fair} {
+			fw, policy := fw, policy
+			t.Run(fmt.Sprintf("%s/%v", fw, policy), func(t *testing.T) {
+				battery(t, fmt.Sprintf("mix/%s/%v", fw, policy), func(f sim.Fidelity) []float64 {
+					rc := RigConfig{Scale: 8192, Seed: 1, Fidelity: f}
+					results, makespan, err := runMix(fw, rc, jobs, nominal, policy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					times := []float64{makespan}
+					for _, r := range results {
+						times = append(times, r.Start, r.End, r.Elapsed)
+					}
+					return times
+				})
+			})
+		}
+	}
+}
+
+// TestDifferentialStragglerSpeculation runs the straggler scenario with
+// one 4x-slow node and speculation on — the cancel-heavy path.
+func TestDifferentialStragglerSpeculation(t *testing.T) {
+	for _, fw := range []Framework{Hadoop, Spark, DataMPI} {
+		fw := fw
+		t.Run(fw.String(), func(t *testing.T) {
+			battery(t, "straggler/"+fw.String(), func(f sim.Fidelity) []float64 {
+				rc := RigConfig{Scale: 8192, Seed: 1, Fidelity: f}
+				res, st, err := runStraggler(fw, rc, 2*cluster.GB, true, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Backup counts are discrete decisions driven by timing;
+				// they must agree exactly, so fold them into the vector.
+				return []float64{res.Start, res.End, res.Elapsed,
+					float64(st.Backups), float64(st.BackupWins)}
+			})
+		})
+	}
+}
+
+// TestDifferentialDelaySweep runs the gateway-staged locality sweep at a
+// representative slack point.
+func TestDifferentialDelaySweep(t *testing.T) {
+	jobs := mixJobs()
+	nominal := 2.0 * cluster.GB
+	for _, slack := range []float64{0, 1} {
+		slack := slack
+		t.Run(fmt.Sprintf("slack=%g", slack), func(t *testing.T) {
+			battery(t, fmt.Sprintf("delaysweep/%g", slack), func(f sim.Fidelity) []float64 {
+				rc := RigConfig{Scale: 8192, Seed: 1, Replication: 1, Gateway: true, Fidelity: f}
+				rig := NewRig(Hadoop, rc)
+				specs := mixSpecs(rig, jobs, nominal, rc.Seed)
+				q := sched.NewQueue(rig.Cluster.Eng, rig.Cluster.N(), sched.FIFO)
+				q.SetLocalitySlack(slack)
+				start := rig.Cluster.Eng.Now()
+				for _, spec := range specs {
+					q.Submit(rig.Sched(), spec)
+				}
+				results := q.Run()
+				times := []float64{rig.Cluster.Eng.Now() - start}
+				for _, r := range results {
+					if r.Err != nil {
+						t.Fatal(r.Err)
+					}
+					times = append(times, r.Start, r.End, r.Elapsed,
+						float64(r.Counters["data_local_maps"]))
+				}
+				return times
+			})
+		})
+	}
+}
+
+// TestDifferentialKernelChurn differences the raw-kernel churn scenario
+// (its simulated makespan folds every flow completion in the run) and
+// checks fast-path determinism across repeats.
+func TestDifferentialKernelChurn(t *testing.T) {
+	workers := 250
+	churn := func(f sim.Fidelity) ChurnResult {
+		res, err := KernelChurn(f, workers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := churn(sim.FidelityFast)
+	ref := churn(sim.FidelityReference)
+	assertClose(t, "kernelchurn", []float64{fast.SimTime}, []float64{ref.SimTime})
+	if fast.Cancelled != ref.Cancelled {
+		t.Fatalf("cancel counts diverged: fast %d, reference %d", fast.Cancelled, ref.Cancelled)
+	}
+	if again := churn(sim.FidelityFast); again.SimTime != fast.SimTime {
+		t.Fatalf("fast path not deterministic: %.17g vs %.17g", again.SimTime, fast.SimTime)
+	}
+	if refAgain := churn(sim.FidelityReference); refAgain.SimTime != ref.SimTime {
+		t.Fatalf("reference path not deterministic: %.17g vs %.17g", refAgain.SimTime, ref.SimTime)
+	}
+}

@@ -119,7 +119,7 @@ func init() {
 			rep := &Report{ID: "fig3a", Title: "Normal Sort",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "DataMPI(s)", "Spark", "DataMPI_gain"}}
 			for _, gb := range microSizes(opt.Quick, []float64{4, 8, 16, 32}) {
-				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1)}
+				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlNormalSort, gb, rc)
 				d, _ := runMicro(DataMPI, wlNormalSort, gb, rc)
 				s, _ := runMicro(Spark, wlNormalSort, gb, rc)
@@ -142,7 +142,7 @@ func init() {
 			rep := &Report{ID: "fig3b", Title: "Text Sort",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark", "DataMPI(s)", "vsHadoop", "vsSpark"}}
 			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
-				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1)}
+				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlTextSort, gb, rc)
 				s, _ := runMicro(Spark, wlTextSort, gb, rc)
 				d, _ := runMicro(DataMPI, wlTextSort, gb, rc)
@@ -168,7 +168,7 @@ func init() {
 			rep := &Report{ID: "fig3c", Title: "WordCount",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark(s)", "DataMPI(s)", "vsHadoop"}}
 			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
-				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1)}
+				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlWordCount, gb, rc)
 				s, _ := runMicro(Spark, wlWordCount, gb, rc)
 				d, _ := runMicro(DataMPI, wlWordCount, gb, rc)
@@ -191,7 +191,7 @@ func init() {
 			rep := &Report{ID: "fig3d", Title: "Grep",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark(s)", "DataMPI(s)", "vsHadoop", "vsSpark"}}
 			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
-				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1)}
+				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlGrep, gb, rc)
 				s, _ := runMicro(Spark, wlGrep, gb, rc)
 				d, _ := runMicro(DataMPI, wlGrep, gb, rc)

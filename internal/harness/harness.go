@@ -18,6 +18,7 @@ import (
 	"github.com/datampi/datampi-go/internal/mr"
 	"github.com/datampi/datampi-go/internal/rdd"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/sim"
 )
 
 // Options tune an experiment run.
@@ -30,6 +31,10 @@ type Options struct {
 	Quick bool
 	// Seed varies the generated data.
 	Seed int64
+	// Fidelity selects the simulation kernel's fluid allocators (the
+	// zero value is the fast incremental path; sim.FidelityReference the
+	// original rescan allocators). Results agree within float noise.
+	Fidelity sim.Fidelity
 }
 
 func (o Options) scaleOr(def float64) float64 {
@@ -184,6 +189,10 @@ type RigConfig struct {
 	Profile      bool    // attach a resource profiler
 	ProfInterval float64
 	Seed         int64
+	// Fidelity selects the kernel's fluid allocators: the zero value is
+	// the fast incremental path; sim.FidelityReference runs the original
+	// rescan allocators (the differential battery runs both).
+	Fidelity sim.Fidelity
 }
 
 // NewRig builds a rig for one framework.
@@ -203,7 +212,7 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	if rc.Replication <= 0 {
 		rc.Replication = 3
 	}
-	c := cluster.New(cluster.DefaultHardware())
+	c := cluster.NewWith(cluster.DefaultHardware(), rc.Fidelity)
 	fsys := dfs.New(c, dfs.Config{
 		BlockSize:        rc.BlockSize,
 		Replication:      rc.Replication,

@@ -38,11 +38,10 @@ func (pg *Profiling) Stop(prof *metrics.Profiler) {
 
 // IOWaitCounter returns the per-node count of execution threads blocked
 // on disk or shuffle I/O — the quantity the profiler turns into the CPU
-// wait-I/O percentage (paper Figure 4).
+// wait-I/O percentage (paper Figure 4). It reads the kernel's O(1)
+// parked-proc counters rather than scanning the proc table per sample.
 func IOWaitCounter(eng *sim.Engine) func(node int) int {
 	return func(node int) int {
-		return eng.CountBlocked(func(p *sim.Proc) bool {
-			return p.Node == node && (p.BlockReason == "disk" || p.BlockReason == "shuffle-io")
-		})
+		return eng.BlockedOn(node, "disk", "shuffle-io")
 	}
 }

@@ -28,15 +28,24 @@ type Timer struct {
 	seq      int64
 	fn       func()
 	canceled bool
+	eng      *Engine
 	index    int // heap index, -1 when popped
 }
 
 // At returns the simulated time at which the timer fires.
 func (t *Timer) At() float64 { return t.at }
 
-// Cancel prevents the timer from firing. Canceling an already-fired timer
-// is a no-op.
-func (t *Timer) Cancel() { t.canceled = true }
+// Cancel prevents the timer from firing. A pending timer is removed from
+// the event heap immediately (O(log n) via its stored heap index), so
+// cancel-heavy workloads — speculation, preemption, watchdog timeouts —
+// cannot rot the heap with ghost entries. Canceling an already-fired
+// timer is a no-op.
+func (t *Timer) Cancel() {
+	t.canceled = true
+	if t.index >= 0 && t.eng != nil {
+		heap.Remove(&t.eng.events, t.index)
+	}
+}
 
 type eventHeap []*Timer
 
@@ -70,20 +79,27 @@ func (h *eventHeap) Pop() any {
 // Engine is a deterministic discrete-event simulation kernel.
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now    float64
-	seq    int64
-	events eventHeap
-	parked chan struct{} // signaled by a proc when it parks or exits
-	procs  map[*Proc]struct{}
-	nlive  int
-	trace  func(string)
+	now      float64
+	seq      int64
+	events   eventHeap
+	parked   chan struct{} // signaled by a proc when it parks or exits
+	procs    map[*Proc]struct{}
+	nlive    int
+	trace    func(string)
+	fidelity Fidelity
+
+	// blocked counts parked procs by (block reason, node), maintained at
+	// Park/resume so the metrics profiler's wait-I/O attribution is O(1)
+	// per node instead of a full proc scan per sample.
+	blocked map[string]map[int]int
 }
 
 // NewEngine returns a fresh simulation engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
-		parked: make(chan struct{}),
-		procs:  make(map[*Proc]struct{}),
+		parked:  make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+		blocked: make(map[string]map[int]int),
 	}
 }
 
@@ -102,10 +118,27 @@ func (e *Engine) tracef(format string, args ...any) {
 // Schedule arranges for fn to run at now+delay on the kernel goroutine.
 // A negative delay is treated as zero. The returned Timer may be canceled.
 func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	return e.rearm(&Timer{eng: e, fn: fn, index: -1}, delay)
+}
+
+// rearm (re)schedules a timer object, reusing its allocation; a timer
+// that is still pending is superseded (removed and re-pushed at the new
+// deadline). The kernel's own repeat customers — proc unpark/sleep
+// wake-ups, fluid-resource completion timers — go through rearm so
+// steady-state event traffic allocates no Timer or closure objects.
+func (e *Engine) rearm(t *Timer, delay float64) *Timer {
+	if t.index >= 0 {
+		// Still pending: e.g. a proc woken out of a Sleep early by an
+		// external Unpark going back to sleep. Re-pushing the same
+		// object would alias two heap slots and corrupt the indexes.
+		heap.Remove(&e.events, t.index)
+	}
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
-	t := &Timer{at: e.now + delay, seq: e.seq, fn: fn}
+	t.at = e.now + delay
+	t.seq = e.seq
+	t.canceled = false
 	e.seq++
 	heap.Push(&e.events, t)
 	return t
@@ -144,12 +177,18 @@ func (e *Engine) Run() error {
 
 // RunUntil executes events with timestamps <= deadline and then stops,
 // leaving later events queued. It returns the number of events executed.
-func (e *Engine) RunUntil(deadline float64) int {
+// Like Run, it refuses to move the clock backwards: an event stamped
+// before the current time aborts with an error instead of silently
+// rewinding e.now.
+func (e *Engine) RunUntil(deadline float64) (int, error) {
 	n := 0
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		t := heap.Pop(&e.events).(*Timer)
 		if t.canceled {
 			continue
+		}
+		if t.at < e.now {
+			return n, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, t.at)
 		}
 		e.now = t.at
 		t.fn()
@@ -158,21 +197,29 @@ func (e *Engine) RunUntil(deadline float64) int {
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return n
+	return n, nil
 }
 
 // Proc is a simulated process: a goroutine that alternates strictly with
 // the kernel. Proc methods that block (Sleep, resource waits) must only be
 // called from the proc's own goroutine.
 type Proc struct {
-	eng        *Engine
-	name       string
-	wake       chan struct{}
-	dead       bool
-	parked     bool
-	cancelled  bool
-	unwinding  bool
-	sleepTimer *Timer // pending Sleep wake-up, cancelled if the proc is killed
+	eng       *Engine
+	name      string
+	wake      chan struct{}
+	dead      bool
+	parked    bool
+	cancelled bool
+	unwinding bool
+
+	// unparkT and sleepT are this proc's reusable wake-up timers: Unpark
+	// and Sleep rearm them instead of allocating a Timer plus closure per
+	// wake-up (the Schedule(0, ...) allocation storm under task churn).
+	// At most one of each can be pending at a time, so reuse is safe.
+	// sleepT is cancelled on the kill unwind so a pending Sleep wake-up
+	// cannot outlive the proc.
+	unparkT *Timer
+	sleepT  *Timer
 
 	// BlockReason is set while the proc is parked; used by the metrics
 	// sampler to attribute blocked time (e.g. CPU-wait-IO accounting).
@@ -217,10 +264,7 @@ func (p *Proc) Cancelled() bool { return p.cancelled }
 func (p *Proc) checkKilled() {
 	if p.cancelled && !p.unwinding {
 		p.unwinding = true
-		if p.sleepTimer != nil {
-			p.sleepTimer.Cancel()
-			p.sleepTimer = nil
-		}
+		p.sleepT.Cancel() // no-op unless a sleep wake-up is pending
 		panic(killed{p})
 	}
 }
@@ -232,8 +276,8 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Engine() *Engine { return p.eng }
 
 // CountBlocked returns the number of live procs for which fn reports true.
-// The metrics profiler uses it to attribute CPU wait-I/O: counting procs
-// parked with an I/O block reason on a given node.
+// Prefer BlockedOn for the common reason+node query: it reads a counter
+// maintained at park/resume instead of scanning every live proc.
 func (e *Engine) CountBlocked(fn func(*Proc) bool) int {
 	n := 0
 	for p := range e.procs {
@@ -244,10 +288,38 @@ func (e *Engine) CountBlocked(fn func(*Proc) bool) int {
 	return n
 }
 
+// BlockedOn returns the number of procs currently parked on node with any
+// of the given block reasons. It is O(len(reasons)): the counters are
+// maintained incrementally at Park/resume, so the metrics profiler's
+// per-sample wait-I/O attribution no longer scans the proc table.
+func (e *Engine) BlockedOn(node int, reasons ...string) int {
+	n := 0
+	for _, reason := range reasons {
+		n += e.blocked[reason][node]
+	}
+	return n
+}
+
+// blockedAdd maintains the (reason, node) parked-proc counters.
+func (e *Engine) blockedAdd(reason string, node, delta int) {
+	if reason == "" {
+		return
+	}
+	m := e.blocked[reason]
+	if m == nil {
+		m = make(map[int]int)
+		e.blocked[reason] = m
+	}
+	m[node] += delta
+}
+
 // Go spawns a new simulated process executing fn. The process starts at the
 // current simulated time (after already-queued events at this timestamp).
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, wake: make(chan struct{}), Node: -1}
+	resume := func() { e.resume(p) }
+	p.unparkT = &Timer{eng: e, fn: resume, index: -1}
+	p.sleepT = &Timer{eng: e, fn: resume, index: -1}
 	e.procs[p] = struct{}{}
 	e.nlive++
 	go func() {
@@ -258,7 +330,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		e.nlive--
 		e.parked <- struct{}{}
 	}()
-	e.Schedule(0, func() { e.resume(p) })
+	p.Unpark()
 	return p
 }
 
@@ -305,20 +377,26 @@ func (p *Proc) Park(reason string) {
 	if reason != "" {
 		p.BlockReason = reason
 	}
+	p.eng.blockedAdd(p.BlockReason, p.Node, 1)
 	p.parked = true
 	p.eng.parked <- struct{}{}
 	<-p.wake
 	p.parked = false
+	p.eng.blockedAdd(p.BlockReason, p.Node, -1)
 	p.BlockReason = ""
 	p.checkKilled()
 }
 
 // Unpark schedules p to be resumed at the current simulated time. It is the
 // counterpart of Park and must be called from kernel context (an event
-// callback) or from another proc.
+// callback) or from another proc. Unparking a dead proc is a no-op, and a
+// second Unpark before the first wake-up fires coalesces with it (the
+// proc can only consume one resume).
 func (p *Proc) Unpark() {
-	e := p.eng
-	e.Schedule(0, func() { e.resume(p) })
+	if p.dead || p.unparkT.index >= 0 {
+		return
+	}
+	p.eng.rearm(p.unparkT, 0)
 }
 
 // Sleep suspends the proc for d simulated seconds. Like Park, it is a
@@ -331,14 +409,12 @@ func (p *Proc) Sleep(d float64) {
 	p.checkKilled()
 	if d <= 0 {
 		// Yield: reschedule after already-queued same-time events.
-		p.sleepTimer = p.eng.Schedule(0, func() { p.eng.resume(p) })
+		p.Unpark()
 		p.Park("yield")
-		p.sleepTimer = nil
 		return
 	}
-	p.sleepTimer = p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.eng.rearm(p.sleepT, d)
 	p.Park("sleep")
-	p.sleepTimer = nil
 }
 
 // WaitGroup is a simulation-aware analogue of sync.WaitGroup: procs block

@@ -146,7 +146,9 @@ func TestRunUntil(t *testing.T) {
 	for i := 1; i <= 5; i++ {
 		e.Schedule(float64(i), func() { count++ })
 	}
-	e.RunUntil(3)
+	if _, err := e.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
 	if count != 3 {
 		t.Fatalf("count = %d, want 3", count)
 	}

@@ -19,15 +19,47 @@ type Fabric struct {
 	linkBW     float64 // bytes/sec, per direction, per node
 	loopbackBW float64
 
+	// ref selects the reference full-refill allocator (FidelityReference,
+	// snapshot from the engine at construction).
+	ref bool
+
 	// flows is kept in start order so rate allocation and completion
 	// callbacks are deterministic across runs (see PSResource.flows).
+	// Reference allocator only.
 	flows []*Flow
 	last  float64
 	timer *Timer
 
-	// Per-node traffic integrals for utilization accounting.
+	// Per-node traffic integrals for utilization accounting. On the fast
+	// path they are settled lazily from the running rate sums below.
 	rxIntegral []float64
 	txIntegral []float64
+
+	// Incremental allocator state (see fabric_fast.go).
+	links     []fLink  // per-link flow registries: egress i -> i, ingress i -> nodes+i
+	cheap     flowHeap // completions keyed by (predicted finish time, seq)
+	rxRate    []float64
+	txRate    []float64
+	nodeLast  []float64 // per-node integral settle time
+	vtimer    *Timer    // reusable completion timer
+	seqCtr    int64
+	fillEpoch int
+	// scratch buffers, reused across refills
+	comp   []int
+	stack  []int
+	fbatch []*Flow
+	dirty  []int
+}
+
+// fLink is one directed link's flow registry, kept sorted by
+// (Src, Dst, seq) so refills touch flows in the same order as the
+// reference allocator's globally sorted sweep. cap/count/mark are
+// scratch state for the current fill pass.
+type fLink struct {
+	flows []*Flow
+	cap   float64
+	count int
+	mark  int
 }
 
 // Flow is an in-progress network transfer.
@@ -36,6 +68,14 @@ type Flow struct {
 	remaining float64
 	rate      float64
 	onDone    func()
+
+	// Incremental allocator fields.
+	seq       int64
+	settledAt float64 // sim time at which remaining was last materialized
+	finish    float64 // predicted completion time, absolute
+	hidx      int     // index in the completion heap
+	mark      int     // fill epoch in which a rate was assigned
+	loop      bool    // node-local transfer, fixed loopback rate
 }
 
 // NewFabric creates a switched fabric for n nodes with the given per-link
@@ -44,14 +84,22 @@ func NewFabric(eng *Engine, n int, linkBW float64) *Fabric {
 	if n <= 0 || linkBW <= 0 {
 		panic("sim: fabric needs nodes and positive bandwidth")
 	}
-	return &Fabric{
+	fb := &Fabric{
 		eng:        eng,
 		nodes:      n,
 		linkBW:     linkBW,
 		loopbackBW: 40 * linkBW, // loopback is effectively a memcpy
 		rxIntegral: make([]float64, n),
 		txIntegral: make([]float64, n),
+		ref:        eng.fidelity == FidelityReference,
 	}
+	if !fb.ref {
+		fb.links = make([]fLink, 2*n)
+		fb.rxRate = make([]float64, n)
+		fb.txRate = make([]float64, n)
+		fb.nodeLast = make([]float64, n)
+	}
+	return fb
 }
 
 // Nodes returns the number of endpoints.
@@ -86,11 +134,16 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, onDone func()) *Flow {
 }
 
 func (fb *Fabric) startFlow(f *Flow) {
+	if !fb.ref {
+		fb.fastStart(f)
+		return
+	}
 	fb.advance()
 	fb.flows = append(fb.flows, f)
 	fb.reallocate()
 }
 
+// advance applies elapsed time to all flows. Reference allocator only.
 func (fb *Fabric) advance() {
 	now := fb.eng.now
 	dt := now - fb.last
@@ -226,8 +279,12 @@ func (fb *Fabric) reallocate() {
 }
 
 // RxRate returns the instantaneous receive rate (bytes/sec) at node i,
-// excluding loopback.
+// excluding loopback. O(1) on the fast path (running sum); the reference
+// allocator scans all flows.
 func (fb *Fabric) RxRate(i int) float64 {
+	if !fb.ref {
+		return fb.rxRate[i]
+	}
 	r := 0.0
 	for _, f := range fb.flows {
 		if f.Dst == i && f.Src != f.Dst {
@@ -238,8 +295,11 @@ func (fb *Fabric) RxRate(i int) float64 {
 }
 
 // TxRate returns the instantaneous transmit rate (bytes/sec) at node i,
-// excluding loopback.
+// excluding loopback. O(1) on the fast path.
 func (fb *Fabric) TxRate(i int) float64 {
+	if !fb.ref {
+		return fb.txRate[i]
+	}
 	r := 0.0
 	for _, f := range fb.flows {
 		if f.Src == i && f.Src != f.Dst {
@@ -249,17 +309,32 @@ func (fb *Fabric) TxRate(i int) float64 {
 	return r
 }
 
-// RxIntegral returns total bytes received by node i so far.
+// RxIntegral returns total bytes received by node i so far. O(1) on the
+// fast path: only node i's integral is settled from its running rate sum,
+// instead of advancing every flow in the fabric per profiler sample.
 func (fb *Fabric) RxIntegral(i int) float64 {
+	if !fb.ref {
+		fb.settleNode(i)
+		return fb.rxIntegral[i]
+	}
 	fb.advance()
 	return fb.rxIntegral[i]
 }
 
 // TxIntegral returns total bytes sent by node i so far.
 func (fb *Fabric) TxIntegral(i int) float64 {
+	if !fb.ref {
+		fb.settleNode(i)
+		return fb.txIntegral[i]
+	}
 	fb.advance()
 	return fb.txIntegral[i]
 }
 
 // ActiveFlows returns the number of in-flight transfers.
-func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+func (fb *Fabric) ActiveFlows() int {
+	if !fb.ref {
+		return len(fb.cheap)
+	}
+	return len(fb.flows)
+}

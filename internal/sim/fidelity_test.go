@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTimerCancelShrinksHeap pins the O(log n) cancel: cancelled timers
+// must leave the event heap immediately instead of rotting as ghost
+// entries until their deadline. Under speculation/preemption churn the
+// ghost population previously grew without bound.
+func TestTimerCancelShrinksHeap(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		timers[i] = e.Schedule(1e6+float64(i), func() {})
+	}
+	if got := len(e.events); got != n {
+		t.Fatalf("heap size = %d, want %d", got, n)
+	}
+	for i, tm := range timers {
+		if i%10 != 0 { // cancel 90%
+			tm.Cancel()
+		}
+	}
+	if got := len(e.events); got != n/10 {
+		t.Fatalf("heap size after cancel churn = %d, want %d (ghost entries rotting)", got, n/10)
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	timers[1].Cancel()
+	fired := 0
+	e.Schedule(0, func() { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	timers[0].Cancel() // already fired
+	if len(e.events) != 0 {
+		t.Fatalf("heap not empty after run: %d", len(e.events))
+	}
+}
+
+// TestRunUntilTimeBackwardsGuard pins the RunUntil half of the
+// time-went-backwards check: an event stamped before the current clock
+// must error out, exactly as in Run.
+func TestRunUntilTimeBackwardsGuard(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		// Forge a corrupted event in the past (Schedule clamps negative
+		// delays, so build the timer directly, as a kernel bug would).
+		bad := &Timer{eng: e, fn: func() {}, at: 1, seq: e.seq, index: -1}
+		e.seq++
+		e.events = append(e.events, bad)
+		bad.index = len(e.events) - 1
+	})
+	if _, err := e.RunUntil(10); err == nil {
+		t.Fatal("RunUntil accepted an event in the past")
+	}
+}
+
+// TestSleepAfterEarlyWake re-sleeps a proc whose Sleep was cut short by
+// an external Unpark: the reusable sleep timer must be superseded, not
+// pushed into the event heap a second time (which would alias two heap
+// slots and hang or corrupt the schedule).
+func TestSleepAfterEarlyWake(t *testing.T) {
+	e := NewEngine()
+	var wakes []float64
+	p := e.Go("sleeper", func(p *Proc) {
+		p.Sleep(10) // cut short at t=1 by the unpark below
+		wakes = append(wakes, e.Now())
+		p.Sleep(5) // must supersede the still-pending t=10 wake-up
+		wakes = append(wakes, e.Now())
+	})
+	e.Schedule(1, func() { p.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wakes) != 2 || wakes[0] != 1 || wakes[1] != 6 {
+		t.Fatalf("wakes = %v, want [1 6]", wakes)
+	}
+	if len(e.events) != 0 {
+		t.Fatalf("ghost events left in heap: %d", len(e.events))
+	}
+}
+
+// runPSScenario exercises one randomized PSResource workload and returns
+// every completion time, in completion order.
+func runPSScenario(f Fidelity, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	e.SetFidelity(f)
+	r := NewPSResource(e, "res", 100, 30)
+	if rng.Intn(2) == 0 {
+		r.ThrashAllowance = 3
+		r.ThrashAlpha = 0.2
+	}
+	var times []float64
+	n := 5 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		delay := rng.Float64() * 5
+		amount := 1 + rng.Float64()*500
+		e.Schedule(delay, func() {
+			r.Start(amount, func() { times = append(times, e.Now()) })
+		})
+	}
+	if rng.Intn(3) == 0 {
+		e.Schedule(2, func() { r.Rescale(0.5) })
+		e.Schedule(4, func() { r.Rescale(2) })
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return times
+}
+
+// runFabricScenario exercises one randomized Fabric workload.
+func runFabricScenario(f Fidelity, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	e.SetFidelity(f)
+	nodes := 3 + rng.Intn(8)
+	fb := NewFabric(e, nodes, 100)
+	var times []float64
+	n := 5 + rng.Intn(50)
+	for i := 0; i < n; i++ {
+		delay := rng.Float64() * 5
+		src, dst := rng.Intn(nodes), rng.Intn(nodes)
+		bytes := 1 + rng.Float64()*800
+		e.Schedule(delay, func() {
+			fb.StartFlow(src, dst, bytes, func() { times = append(times, e.Now()) })
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	for i := 0; i < nodes; i++ {
+		times = append(times, fb.RxIntegral(i), fb.TxIntegral(i))
+	}
+	return times
+}
+
+// TestFidelityDifferentialPS differences randomized PSResource schedules
+// between the virtual-time and reference allocators.
+func TestFidelityDifferentialPS(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		fast := runPSScenario(FidelityFast, seed)
+		ref := runPSScenario(FidelityReference, seed)
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: %d vs %d completions", seed, len(fast), len(ref))
+		}
+		for i := range fast {
+			if d := math.Abs(fast[i] - ref[i]); d > 1e-6*math.Max(1, math.Abs(ref[i])) {
+				t.Fatalf("seed %d completion %d: fast %.12g vs ref %.12g", seed, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFidelityDifferentialFabric differences randomized fabric schedules
+// and traffic integrals between the incremental and reference allocators.
+func TestFidelityDifferentialFabric(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		fast := runFabricScenario(FidelityFast, seed)
+		ref := runFabricScenario(FidelityReference, seed)
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: %d vs %d values", seed, len(fast), len(ref))
+		}
+		for i := range fast {
+			if d := math.Abs(fast[i] - ref[i]); d > 1e-6*math.Max(1, math.Abs(ref[i])) {
+				t.Fatalf("seed %d value %d: fast %.12g vs ref %.12g", seed, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFidelityWeightedFallback drives the one state the virtual clock
+// cannot express — heterogeneous weights with partial capping — and
+// checks the fast resource falls back to reference behaviour with the
+// correct remaining work.
+func TestFidelityWeightedFallback(t *testing.T) {
+	e := NewEngine()
+	r := NewPSResource(e, "res", 100, 30)
+	var t1, t2 float64
+	e.Go("heavy", func(p *Proc) {
+		// Weight 9 of 10 -> fair share 90 > cap 30: capped while the
+		// light flow is not.
+		r.UseWeighted(p, 300, 9, "io")
+		t1 = e.Now()
+	})
+	e.Go("light", func(p *Proc) {
+		r.UseWeighted(p, 300, 1, "io")
+		t2 = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Reference allocation: heavy capped at 30, light gets
+	// min(30, 70*1/1) = 30. Both finish 300 units at 30 u/s = 10s.
+	if !almostEqual(t1, 10, 1e-6) || !almostEqual(t2, 10, 1e-6) {
+		t.Fatalf("t1=%v t2=%v, want 10,10", t1, t2)
+	}
+	if !r.ref {
+		t.Fatal("resource should have fallen back to the reference allocator")
+	}
+}
+
+// TestFidelityDeterminism re-runs one contended scenario per fidelity and
+// requires bit-identical completion times.
+func TestFidelityDeterminism(t *testing.T) {
+	for _, f := range []Fidelity{FidelityFast, FidelityReference} {
+		a := runFabricScenario(f, 17)
+		b := runFabricScenario(f, 17)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic value %d: %v vs %v", f, i, a[i], b[i])
+			}
+		}
+		pa := runPSScenario(f, 17)
+		pb := runPSScenario(f, 17)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%v: nondeterministic PS completion %d: %v vs %v", f, i, pa[i], pb[i])
+			}
+		}
+	}
+}

@@ -36,12 +36,32 @@ type PSResource struct {
 	ThrashAllowance int
 	ThrashAlpha     float64
 
+	// ref selects the reference full-rescan allocator (FidelityReference,
+	// snapshot from the engine at construction). The virtual-time fast
+	// path also flips it on permanently if a start would create a state
+	// it cannot represent (heterogeneous weights with partial capping).
+	ref bool
+
 	// flows is kept in start order so iteration (rate allocation, float
 	// accumulation, completion callbacks) is deterministic across runs; a
 	// map here would randomize event ordering and with it whole schedules.
+	// Reference allocator only.
 	flows []*psFlow
-	last  float64 // time of the last advance
+	last  float64 // time of the last advance/settle
 	timer *Timer
+
+	// Virtual-time allocator state (see resource_vtime.go): flows in a
+	// min-heap keyed by finish virtual time, with lazy per-flow
+	// accounting — no per-flow sweep on advance.
+	vheap       vtHeap
+	vt          float64 // current virtual time (normalized work served per unit weight)
+	vrate       float64 // dV/dt under the current flow population
+	vtimer      *Timer  // reusable completion timer
+	seqCtr      int64
+	totalWeight float64
+	weightCount map[float64]int // live flows per distinct weight
+	maxWeight   float64
+	vbatch      []*psFlow // completion scratch
 
 	busyIntegral float64 // ∫ usedRate dt, for average-utilization accounting
 	waiting      int     // procs currently blocked on this resource
@@ -52,6 +72,12 @@ type psFlow struct {
 	rate      float64
 	onDone    func()
 	weight    float64
+
+	// Virtual-time allocator fields: the flow completes when the
+	// resource's virtual clock reaches finishV; seq is the start order,
+	// used to fire same-instant completions in reference order.
+	finishV float64
+	seq     int64
 }
 
 // NewPSResource creates a processor-sharing resource. perFlowCap <= 0 means
@@ -68,6 +94,7 @@ func NewPSResource(eng *Engine, name string, capacity, perFlowCap float64) *PSRe
 		name:       name,
 		capacity:   capacity,
 		perFlowCap: perFlowCap,
+		ref:        eng.fidelity == FidelityReference,
 	}
 }
 
@@ -84,6 +111,10 @@ func (r *PSResource) Capacity() float64 { return r.capacity }
 func (r *PSResource) Rescale(factor float64) {
 	if factor <= 0 || math.IsNaN(factor) {
 		panic(fmt.Sprintf("sim: %s: Rescale factor must be positive, got %v", r.name, factor))
+	}
+	if !r.ref {
+		r.vtRescale(factor)
+		return
 	}
 	r.advance()
 	r.capacity *= factor
@@ -128,12 +159,17 @@ func (r *PSResource) Start(amount float64, onDone func()) {
 }
 
 func (r *PSResource) start(f *psFlow) {
+	if !r.ref {
+		r.vtStart(f)
+		return
+	}
 	r.advance()
 	r.flows = append(r.flows, f)
 	r.reallocate()
 }
 
 // advance applies elapsed time to all flows at their current rates.
+// Reference allocator only.
 func (r *PSResource) advance() {
 	now := r.eng.now
 	dt := now - r.last
@@ -228,7 +264,15 @@ func (r *PSResource) reallocate() {
 }
 
 // UsedRate returns the instantaneous consumption rate in units/second.
+// O(1) on the virtual-time path (flows × normalized rate); the reference
+// allocator sums per-flow rates.
 func (r *PSResource) UsedRate() float64 {
+	if !r.ref {
+		if len(r.vheap) == 0 {
+			return 0
+		}
+		return r.vrate * r.totalWeight
+	}
 	used := 0.0
 	for _, f := range r.flows {
 		used += f.rate
@@ -237,7 +281,12 @@ func (r *PSResource) UsedRate() float64 {
 }
 
 // ActiveFlows returns the number of in-progress flows.
-func (r *PSResource) ActiveFlows() int { return len(r.flows) }
+func (r *PSResource) ActiveFlows() int {
+	if !r.ref {
+		return len(r.vheap)
+	}
+	return len(r.flows)
+}
 
 // Waiting returns the number of procs currently blocked in Use.
 func (r *PSResource) Waiting() int { return r.waiting }
@@ -245,6 +294,10 @@ func (r *PSResource) Waiting() int { return r.waiting }
 // BusyIntegral returns ∫ usedRate dt up to the last event; divide by the
 // window and capacity for average utilization.
 func (r *PSResource) BusyIntegral() float64 {
+	if !r.ref {
+		r.vtSettle()
+		return r.busyIntegral
+	}
 	r.advance()
 	return r.busyIntegral
 }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Virtual-time processor sharing: the fast (FidelityFast) allocator for
+// PSResource.
+//
+// Under processor sharing every active flow receives service at the same
+// normalized rate per unit weight, so instead of sweeping all flows on
+// every event ("remaining -= rate*dt" for each), the resource keeps one
+// virtual clock V that advances at the common normalized rate and tags
+// each flow at start with the virtual instant it finishes:
+//
+//	finishV = V(start) + remaining/weight
+//
+// Flows live in a min-heap keyed by (finishV, seq). A flow arrival or
+// completion is then O(log F): push/pop the heap and re-derive dV/dt from
+// the flow count — nothing touches the other F-1 flows. Capacity changes
+// (Rescale, thrash) only alter dV/dt; the heap keys stay valid.
+//
+// dV/dt is well-defined whenever all flows progress at the same
+// normalized rate: equal weights (capped or not — the per-flow cap binds
+// uniformly), or arbitrary weights with no flow capped. The engines only
+// ever start weight-1 flows, so the equal-weight branch below reproduces
+// the reference allocator's rate arithmetic bit-for-bit. The one state a
+// shared clock cannot express — heterogeneous weights with only some
+// flows capped — permanently flips the resource to the reference
+// allocator via vtFallback.
+
+// vtHeap orders flows by finish virtual time, start order on ties.
+type vtHeap []*psFlow
+
+func (h vtHeap) Len() int { return len(h) }
+func (h vtHeap) Less(i, j int) bool {
+	if h[i].finishV != h[j].finishV {
+		return h[i].finishV < h[j].finishV
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *vtHeap) Push(x any)   { *h = append(*h, x.(*psFlow)) }
+func (h *vtHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return f
+}
+
+// vtSettle advances the virtual clock and the busy integral to the
+// current instant. O(1): no per-flow state is touched.
+func (r *PSResource) vtSettle() {
+	now := r.eng.now
+	dt := now - r.last
+	r.last = now
+	if dt <= 0 || len(r.vheap) == 0 {
+		return
+	}
+	r.vt += r.vrate * dt
+	r.busyIntegral += r.vrate * r.totalWeight * dt
+}
+
+// vtStart admits a new flow: settle, fire any flows that finished on the
+// way here, then push and reprogram. O(log F).
+func (r *PSResource) vtStart(f *psFlow) {
+	r.vtSettle()
+	r.vtCollect()
+	f.seq = r.seqCtr
+	r.seqCtr++
+	if f.weight == 1 {
+		f.finishV = r.vt + f.remaining
+	} else {
+		f.finishV = r.vt + f.remaining/f.weight
+	}
+	heap.Push(&r.vheap, f)
+	r.totalWeight += f.weight
+	if r.weightCount == nil {
+		r.weightCount = make(map[float64]int)
+	}
+	r.weightCount[f.weight]++
+	if f.weight > r.maxWeight {
+		r.maxWeight = f.weight
+	}
+	r.vtProgram()
+}
+
+// vtRescale is Rescale on the fast path: the heap keys are virtual, so
+// only dV/dt changes.
+func (r *PSResource) vtRescale(factor float64) {
+	r.vtSettle()
+	r.vtCollect()
+	r.capacity *= factor
+	r.perFlowCap *= factor
+	r.vtProgram()
+}
+
+// vtTick is the completion-timer body.
+func (r *PSResource) vtTick() {
+	r.vtSettle()
+	r.vtCollect()
+	r.vtProgram()
+}
+
+// vtCollect pops every flow the virtual clock has passed and schedules
+// its completion callback, in start order — exactly the grouping and
+// ordering the reference allocator produces when it sweeps after an
+// advance. Flows qualify under the same epsilon rule as flowDone, using
+// the rate they were actually receiving (vrate × weight).
+func (r *PSResource) vtCollect() {
+	if len(r.vheap) == 0 {
+		return
+	}
+	batch := r.vbatch[:0]
+	for len(r.vheap) > 0 {
+		f := r.vheap[0]
+		rem := (f.finishV - r.vt) * f.weight
+		if !flowDone(rem, r.vrate*f.weight) {
+			break
+		}
+		heap.Pop(&r.vheap)
+		batch = append(batch, f)
+	}
+	r.vbatch = batch[:0]
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	for _, f := range batch {
+		r.totalWeight -= f.weight
+		if c := r.weightCount[f.weight]; c <= 1 {
+			delete(r.weightCount, f.weight)
+			if f.weight == r.maxWeight {
+				r.maxWeight = 0
+				for w := range r.weightCount {
+					if w > r.maxWeight {
+						r.maxWeight = w
+					}
+				}
+			}
+		} else {
+			r.weightCount[f.weight] = c - 1
+		}
+		if f.onDone != nil {
+			r.eng.Schedule(0, f.onDone)
+		}
+	}
+	if len(r.vheap) == 0 {
+		// Kill floating-point residue so an idle resource restarts clean.
+		r.totalWeight = 0
+		r.vrate = 0
+	}
+}
+
+// vtProgram re-derives dV/dt for the current population and arms the
+// completion timer for the earliest finisher. The equal-weight branch
+// mirrors the reference water-filling arithmetic exactly (share =
+// effCap*w/W, clamped to the per-flow cap), so weight-1 rates match the
+// reference allocator bit-for-bit.
+func (r *PSResource) vtProgram() {
+	n := len(r.vheap)
+	if n == 0 {
+		if r.vtimer != nil {
+			r.vtimer.Cancel()
+		}
+		return
+	}
+	effCap := r.capacity
+	if r.ThrashAlpha > 0 {
+		if over := n - r.ThrashAllowance; over > 0 {
+			effCap = r.capacity / (1 + r.ThrashAlpha*float64(over))
+		}
+	}
+	switch {
+	case len(r.weightCount) == 1:
+		w := r.maxWeight
+		rate := effCap * w / r.totalWeight
+		if rate > r.perFlowCap {
+			rate = r.perFlowCap
+		}
+		if w == 1 {
+			r.vrate = rate
+		} else {
+			r.vrate = rate / w
+		}
+	case effCap*r.maxWeight/r.totalWeight <= r.perFlowCap:
+		// Heterogeneous weights, nobody capped: uniform normalized rate.
+		r.vrate = effCap / r.totalWeight
+	default:
+		// Heterogeneous weights with partial capping: normalized rates
+		// diverge per flow, which a single virtual clock cannot express.
+		r.vtFallback()
+		return
+	}
+	top := r.vheap[0]
+	dt := (top.finishV - r.vt) / r.vrate
+	if r.vtimer == nil {
+		r.vtimer = &Timer{eng: r.eng, index: -1, fn: r.vtTick}
+	} else {
+		r.vtimer.Cancel()
+	}
+	r.eng.rearm(r.vtimer, dt)
+}
+
+// vtFallback permanently switches the resource to the reference
+// allocator, materializing each heap flow's remaining work from its
+// virtual finish tag. The clock is already settled when this runs.
+func (r *PSResource) vtFallback() {
+	flows := make([]*psFlow, len(r.vheap))
+	copy(flows, r.vheap)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].seq < flows[j].seq })
+	for _, f := range flows {
+		f.remaining = (f.finishV - r.vt) * f.weight
+		f.rate = r.vrate * f.weight
+	}
+	r.flows = flows
+	r.vheap = nil
+	r.weightCount = nil
+	if r.vtimer != nil {
+		r.vtimer.Cancel()
+	}
+	r.ref = true
+	r.reallocate()
+}
