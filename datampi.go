@@ -178,8 +178,21 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 // Scenario knobs — per-job weights (SubmitWeighted), speculative
 // execution (SetSpeculation), preemption (SetPreemption) and
 // delay-scheduling slack (SetLocalitySlack) — live on the returned Queue.
+//
+// New code should prefer NewScenario: it expresses the same runs
+// declaratively (tenants, arrival traces, timed perturbations) and
+// returns a structured latency report. The Queue setters stay supported
+// as the imperative layer the Scenario API drives.
 func (t *Testbed) NewQueue(policy Policy) *Queue {
-	return sched.NewQueue(t.Cluster.Eng, t.Cluster.N(), policy)
+	q := sched.NewQueue(t.Cluster.Eng, t.Cluster.N(), policy)
+	// Nodes the testbed already recorded as failed stay excluded from
+	// task placement in the new queue.
+	for i := 0; i < t.Cluster.N(); i++ {
+		if !t.Cluster.Alive(i) {
+			q.NodeDown(i)
+		}
+	}
+	return q
 }
 
 // SlowNode degrades node i's CPU and disk service rates by factor
@@ -192,6 +205,11 @@ func (t *Testbed) SlowNode(i int, factor float64) {
 // RunAll co-schedules jobs on eng under policy and returns their results
 // in submission order. Every job must have FS set (the workload builders
 // do) and target the same testbed as eng.
+//
+// Deprecated: RunAll is a thin wrapper over the Scenario API and is kept
+// for compatibility. New code should use NewScenario, which also
+// expresses arrival times, tenants, timed perturbations and per-tenant
+// reporting.
 func RunAll(eng ConcurrentEngine, policy Policy, jobs ...Job) []Result {
 	if len(jobs) == 0 {
 		return nil
@@ -205,11 +223,22 @@ func RunAll(eng ConcurrentEngine, policy Policy, jobs ...Job) []Result {
 			panic("datampi: RunAll jobs must be staged on the engine's testbed")
 		}
 	}
-	q := sched.NewQueue(c.Eng, c.N(), policy)
+	opts := []ScenarioOption{WithPolicy(policy), Tenant("jobs", 1, eng)}
 	for _, j := range jobs {
-		q.Submit(eng, j)
+		opts = append(opts, Arrive("jobs", 0, j))
 	}
-	return q.Run()
+	rep, err := NewScenario(&Testbed{Cluster: c, FS: jobs[0].FS}, opts...).Run()
+	if rep == nil {
+		// Run only returns a nil report for configuration errors, which
+		// RunAll's contract reports by panicking (misuse, like the FS
+		// checks above). Per-job failures come back inside the results.
+		panic(err)
+	}
+	out := make([]Result, len(jobs))
+	for i := range rep.Jobs {
+		out[i] = rep.Jobs[i].Result
+	}
+	return out
 }
 
 // NewProfiler attaches a resource profiler sampling every interval

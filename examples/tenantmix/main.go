@@ -1,0 +1,65 @@
+// Tenantmix: a declarative multi-tenant workload trace on one simulated
+// testbed. Three tenants with different fair-share weights submit Poisson
+// streams of BigDataBench jobs — WordCount for the analytics tenant, Grep
+// for search, Text Sort for the data pipeline — against a shared DataMPI
+// engine. Mid-trace one node degrades 4x (a failing disk, a noisy
+// neighbour) and later recovers, while speculative execution races backup
+// attempts against the stragglers.
+//
+// The paper benchmarks one job at a time; BigDataBench itself argues that
+// realistic evaluation needs diverse workloads arriving over time. The
+// Scenario API expresses that world in one declaration and returns a
+// structured report: per-tenant p50/p95 response times and slot shares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	datampi "github.com/datampi/datampi-go"
+)
+
+func main() {
+	tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 4096, Seed: 7})
+	const size = 1 * datampi.GB
+	wcIn := tb.GenerateText("/in/wc", size, 1)
+	grIn := tb.GenerateText("/in/grep", size, 2)
+	soIn := tb.GenerateText("/in/sort", size, 3)
+	eng := datampi.New(tb.FS, datampi.DefaultConfig())
+
+	mkWC := func(i int) datampi.Job {
+		return datampi.WordCount(tb.FS, wcIn, fmt.Sprintf("/out/wc-%d", i), 32)
+	}
+	mkGrep := func(i int) datampi.Job {
+		return datampi.Grep(tb.FS, grIn, fmt.Sprintf("/out/grep-%d", i), `th[ae]`, 32)
+	}
+	mkSort := func(i int) datampi.Job {
+		return datampi.TextSort(tb.FS, soIn, fmt.Sprintf("/out/sort-%d", i), 32)
+	}
+
+	rep, err := datampi.NewScenario(tb,
+		datampi.WithPolicy(datampi.Fair),
+		datampi.WithSpeculation(datampi.SpeculationConfig{Enabled: true}),
+		datampi.Tenant("analytics", 2, eng),
+		datampi.Tenant("search", 1, eng),
+		datampi.Tenant("pipeline", 1, eng),
+		datampi.PoissonArrivals("analytics", 0.05, 4, 11, mkWC),
+		datampi.PoissonArrivals("search", 0.05, 4, 12, mkGrep),
+		datampi.PoissonArrivals("pipeline", 0.05, 4, 13, mkSort),
+		datampi.At(60, datampi.SlowNode(7, 4)),
+		datampi.At(150, datampi.RestoreNode(7)),
+	).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== 3-tenant Poisson trace, 12 jobs, node 7 slow from t=60s to t=150s ==")
+	fmt.Print(rep.Render())
+	fmt.Println()
+	fmt.Println("Weight 2 buys the analytics tenant roughly twice the slot share of the")
+	fmt.Println("equally-sized search tenant when they contend; the pipeline tenant's")
+	fmt.Println("share is larger because Text Sort moves its full data volume through")
+	fmt.Println("every slot. The slow-node window shows up as a p95 bulge in whichever")
+	fmt.Println("streams straddle it. Re-running reproduces this table bit for bit —")
+	fmt.Println("arrivals and scheduling are deterministic for fixed seeds.")
+}

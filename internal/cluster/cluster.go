@@ -74,6 +74,7 @@ type Cluster struct {
 	HW    Hardware
 	Nodes []*Node
 	Net   *sim.Fabric
+	down  []bool
 }
 
 // New builds a cluster on a fresh simulation engine with the default
@@ -98,7 +99,7 @@ func NewOn(eng *sim.Engine, hw Hardware) *Cluster {
 	if hw.Nodes <= 0 {
 		panic("cluster: need at least one node")
 	}
-	c := &Cluster{Eng: eng, HW: hw}
+	c := &Cluster{Eng: eng, HW: hw, down: make([]bool, hw.Nodes)}
 	c.Net = sim.NewFabric(eng, hw.Nodes, hw.NetLinkBW)
 	for i := 0; i < hw.Nodes; i++ {
 		// Disk capacity is the blended sequential bandwidth; reads and
@@ -141,6 +142,21 @@ func (c *Cluster) SlowNode(i int, factor float64) {
 	n.CPU.Rescale(1 / factor)
 	n.Disk.Rescale(1 / factor)
 }
+
+// NodeDown records node i as failed, for observability via Alive. It is
+// bookkeeping only: scheduling exclusion and attempt retry live in
+// sched.TaskTracker.NodeDown, and replica failover in dfs.FS.NodeDown —
+// the scenario NodeDown event invokes all three together. The node's
+// simulated resources are not rescaled: work already submitted to them
+// drains in the background, modeling I/O that was in flight when the
+// machine died.
+func (c *Cluster) NodeDown(i int) { c.down[i] = true }
+
+// NodeUp revives node i for scheduling purposes.
+func (c *Cluster) NodeUp(i int) { c.down[i] = false }
+
+// Alive reports whether node i has not been marked down.
+func (c *Cluster) Alive(i int) bool { return !c.down[i] }
 
 // TableRows renders the Table 2 hardware description as label/value rows.
 func (h Hardware) TableRows() [][2]string {

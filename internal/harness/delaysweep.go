@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
+	datampi "github.com/datampi/datampi-go"
 	"github.com/datampi/datampi-go/internal/cluster"
-	"github.com/datampi/datampi-go/internal/sched"
 )
 
 // The delay-scheduling sweep measures the Placer's LocalitySlack knob
@@ -40,27 +40,30 @@ func init() {
 			for _, slack := range slacks {
 				rig := NewRig(Hadoop, rc)
 				specs := mixSpecs(rig, jobs, nominal, rc.Seed)
-				q := sched.NewQueue(rig.Cluster.Eng, rig.Cluster.N(), sched.FIFO)
-				q.SetLocalitySlack(slack)
-				start := rig.Cluster.Eng.Now()
-				for _, spec := range specs {
-					q.Submit(rig.Sched(), spec)
+				opts := []datampi.ScenarioOption{
+					datampi.WithLocalitySlack(slack),
+					datampi.Tenant("sweep", 1, rig.Sched()),
 				}
-				results := q.Run()
-				makespan := rig.Cluster.Eng.Now() - start
+				for _, spec := range specs {
+					opts = append(opts, datampi.Arrive("sweep", 0, spec))
+				}
+				srep, err := datampi.NewScenario(rig.Testbed(), opts...).Run()
+				if srep == nil {
+					return nil, fmt.Errorf("delaysweep slack=%v: %w", slack, err)
+				}
 				var local, maps int64
-				for _, res := range results {
-					if res.Err != nil {
-						return nil, fmt.Errorf("delaysweep slack=%v %s: %w", slack, res.Job, res.Err)
+				for _, jr := range srep.Jobs {
+					if jr.Result.Err != nil {
+						return nil, fmt.Errorf("delaysweep slack=%v %s: %w", slack, jr.Result.Job, jr.Result.Err)
 					}
-					local += res.Counters["data_local_maps"]
-					maps += res.Counters["maps"]
+					local += jr.Result.Counters["data_local_maps"]
+					maps += jr.Result.Counters["maps"]
 				}
 				rep.Rows = append(rep.Rows, []string{
 					fmt.Sprintf("%g", slack),
 					fmt.Sprintf("%d", local), fmt.Sprintf("%d", maps),
 					fmtPct(float64(local) / float64(maps)),
-					fmtSecs(makespan),
+					fmtSecs(srep.Makespan),
 				})
 			}
 			rep.Notes = append(rep.Notes,

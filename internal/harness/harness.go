@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	datampi "github.com/datampi/datampi-go"
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/core"
 	"github.com/datampi/datampi-go/internal/dfs"
@@ -250,6 +251,13 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 		r.Engine = e
 	}
 	return r
+}
+
+// Testbed adapts the rig to the public Scenario API: experiments build
+// rigs (paper-faithful cluster/DFS geometry) and then describe their
+// runs declaratively with datampi.NewScenario over this testbed.
+func (r *Rig) Testbed() *datampi.Testbed {
+	return &datampi.Testbed{Cluster: r.Cluster, FS: r.FS}
 }
 
 // Sched returns the rig's engine as a sched.Engine for queue submission.

@@ -11,7 +11,7 @@ var wantIDs = []string{
 	"fig2a", "fig2b", "fig3a", "fig3b", "fig3c", "fig3d",
 	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
 	"table1", "table2", "mix1", "straggler", "delaysweep",
-	"kernelchurn",
+	"kernelchurn", "tenants",
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
@@ -165,6 +165,55 @@ func TestDelaySweepShape(t *testing.T) {
 	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
 	if atof(last[4]) <= atof(first[4]) {
 		t.Fatalf("max slack should cost makespan vs strict balance on a hot-spotted gateway: %v vs %v", last, first)
+	}
+}
+
+// TestTenantsTraceShape runs the multi-tenant trace in quick mode and
+// asserts the acceptance properties: at least 3 tenants and 20 Poisson
+// arrivals, per-tenant p50/p95 response times in the table, a mid-trace
+// perturbation on the timeline, and byte-identical determinism across
+// runs.
+func TestTenantsTraceShape(t *testing.T) {
+	exp, ok := Lookup("tenants")
+	if !ok {
+		t.Fatal("tenants experiment not registered")
+	}
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("tenant rows = %d, want >= 3", len(rep.Rows))
+	}
+	jobs := 0.0
+	for _, row := range rep.Rows {
+		jobs += atof(row[2])
+		p50, p95 := atof(row[3]), atof(row[4])
+		if p50 <= 0 || p95 < p50 {
+			t.Fatalf("tenant %s: implausible latency distribution p50=%v p95=%v", row[0], p50, p95)
+		}
+	}
+	if jobs < 20 {
+		t.Fatalf("trace ran %v jobs, want >= 20", jobs)
+	}
+	slowNoted, restoreNoted := false, false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "slow-node") {
+			slowNoted = true
+		}
+		if strings.Contains(n, "restore-node") {
+			restoreNoted = true
+		}
+	}
+	if !slowNoted || !restoreNoted {
+		t.Fatalf("timeline notes missing the mid-trace perturbation: %v", rep.Notes)
+	}
+	rep2, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != rep2.Render() {
+		t.Fatalf("tenants runs not byte-identical:\n--- first\n%s--- second\n%s", rep.Render(), rep2.Render())
 	}
 }
 

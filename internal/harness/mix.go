@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	datampi "github.com/datampi/datampi-go"
 	"github.com/datampi/datampi-go/internal/bdb"
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/job"
@@ -48,37 +49,49 @@ func mixSpecs(r *Rig, jobs []mixJob, nominal float64, seed int64) []job.Spec {
 	return specs
 }
 
-// runMix runs the mix co-scheduled under policy on a fresh rig and
-// returns the per-job results plus the makespan.
+// runMix runs the mix co-scheduled under policy on a fresh rig, declared
+// through the Scenario API, and returns the per-job results plus the
+// makespan. The scenario path reproduces the imperative queue path's
+// per-job timings bit-identically (pinned by TestScenarioMixCompat).
 func runMix(fw Framework, rc RigConfig, jobs []mixJob, nominal float64, policy sched.Policy) ([]job.Result, float64, error) {
 	rig := NewRig(fw, rc)
 	specs := mixSpecs(rig, jobs, nominal, rc.Seed)
-	q := sched.NewQueue(rig.Cluster.Eng, rig.Cluster.N(), policy)
-	start := rig.Cluster.Eng.Now()
-	for _, spec := range specs {
-		q.Submit(rig.Sched(), spec)
+	opts := []datampi.ScenarioOption{
+		datampi.WithPolicy(policy),
+		datampi.Tenant("mix", 1, rig.Sched()),
 	}
-	results := q.Run()
-	makespan := rig.Cluster.Eng.Now() - start
-	for _, res := range results {
-		if res.Err != nil {
-			return results, makespan, fmt.Errorf("mix %s %s: %w", fw, res.Job, res.Err)
+	for _, spec := range specs {
+		opts = append(opts, datampi.Arrive("mix", 0, spec))
+	}
+	rep, err := datampi.NewScenario(rig.Testbed(), opts...).Run()
+	if rep == nil {
+		return nil, 0, fmt.Errorf("mix %s: %w", fw, err)
+	}
+	results := make([]job.Result, len(rep.Jobs))
+	for i := range rep.Jobs {
+		results[i] = rep.Jobs[i].Result
+		if results[i].Err != nil {
+			return results, rep.Makespan, fmt.Errorf("mix %s %s: %w", fw, results[i].Job, results[i].Err)
 		}
 	}
-	return results, makespan, nil
+	return results, rep.Makespan, nil
 }
 
 // runMixAlone runs mix job ji in isolation (all inputs staged, one job
-// run) on a fresh rig. The job goes through a single-job queue so its
-// elapsed time uses the same driver-completion accounting as the
+// run) on a fresh rig. The job goes through a single-arrival scenario so
+// its elapsed time uses the same driver-completion accounting as the
 // co-scheduled runs.
 func runMixAlone(fw Framework, rc RigConfig, jobs []mixJob, nominal float64, ji int) (job.Result, error) {
 	rig := NewRig(fw, rc)
 	specs := mixSpecs(rig, jobs, nominal, rc.Seed)
-	q := sched.NewQueue(rig.Cluster.Eng, rig.Cluster.N(), sched.FIFO)
-	q.Submit(rig.Sched(), specs[ji])
-	res := q.Run()[0]
-	return res, res.Err
+	rep, err := datampi.NewScenario(rig.Testbed(),
+		datampi.Tenant("solo", 1, rig.Sched()),
+		datampi.Arrive("solo", 0, specs[ji]),
+	).Run()
+	if rep == nil {
+		return job.Result{}, err
+	}
+	return rep.Jobs[0].Result, rep.Jobs[0].Result.Err
 }
 
 func init() {

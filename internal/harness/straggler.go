@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	datampi "github.com/datampi/datampi-go"
 	"github.com/datampi/datampi-go/internal/bdb"
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/job"
@@ -20,20 +21,30 @@ import (
 const stragglerFactor = 4.0
 
 // runStraggler measures one framework once: clean, slow, slow+speculation.
+// The run is declared through the Scenario API — the slow node is a timed
+// perturbation at t=0, which applies before the first admission exactly
+// like the imperative "SlowNode before Run" (pinned bit-identical by
+// TestScenarioStragglerCompat).
 func runStraggler(fw Framework, rc RigConfig, nominal float64, slow, speculate bool) (job.Result, sched.TrackerStats, error) {
 	rig := NewRig(fw, rc)
 	in := bdb.GenerateTextFile(rig.FS, "/strag/in", bdb.LDAWiki1W(), rc.Seed+7, nominal)
 	spec := bdb.WordCountSpec(rig.FS, in, "/strag/out", rig.TasksPerNode*rig.Cluster.N())
-	q := sched.NewQueue(rig.Cluster.Eng, rig.Cluster.N(), sched.FIFO)
+	opts := []datampi.ScenarioOption{
+		datampi.Tenant("strag", 1, rig.Sched()),
+		datampi.Arrive("strag", 0, spec),
+	}
 	if speculate {
-		q.SetSpeculation(sched.SpeculationConfig{Enabled: true})
+		opts = append(opts, datampi.WithSpeculation(sched.SpeculationConfig{Enabled: true}))
 	}
 	if slow {
-		rig.Cluster.SlowNode(rig.Cluster.N()-1, stragglerFactor)
+		opts = append(opts, datampi.At(0, datampi.SlowNode(rig.Cluster.N()-1, stragglerFactor)))
 	}
-	q.Submit(rig.Sched(), spec)
-	res := q.Run()[0]
-	return res, q.TrackerStats(), res.Err
+	rep, err := datampi.NewScenario(rig.Testbed(), opts...).Run()
+	if rep == nil {
+		return job.Result{}, sched.TrackerStats{}, err
+	}
+	res := rep.Jobs[0].Result
+	return res, rep.Tracker, res.Err
 }
 
 func init() {

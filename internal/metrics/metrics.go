@@ -10,10 +10,57 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"github.com/datampi/datampi-go/internal/cluster"
 )
+
+// Dist summarizes a sample (e.g. per-job response times in seconds):
+// count, mean, extremes, and nearest-rank percentiles. The zero value is
+// an empty distribution. Scenario reports aggregate per-tenant latency
+// with it.
+type Dist struct {
+	N    int
+	Mean float64
+	P50  float64
+	P95  float64
+	Min  float64
+	Max  float64
+}
+
+// NewDist computes the summary of xs (left unmodified). Percentiles use
+// the nearest-rank method — deterministic and meaningful even for the
+// small samples a trace of a few dozen jobs produces.
+func NewDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	d := Dist{N: len(s), Min: s[0], Max: s[len(s)-1]}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	d.Mean = sum / float64(len(s))
+	d.P50 = s[nearestRank(0.50, len(s))]
+	d.P95 = s[nearestRank(0.95, len(s))]
+	return d
+}
+
+// nearestRank maps percentile p of n sorted samples to an index.
+func nearestRank(p float64, n int) int {
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
 
 // Sample is one profiling tick, averaged across nodes.
 type Sample struct {

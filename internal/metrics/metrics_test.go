@@ -110,3 +110,31 @@ func TestWindowString(t *testing.T) {
 		t.Fatalf("window string = %q", str)
 	}
 }
+
+func TestDist(t *testing.T) {
+	if d := NewDist(nil); d != (Dist{}) {
+		t.Fatalf("empty dist = %+v, want zero", d)
+	}
+	// 1..20: nearest-rank p50 = 10th value, p95 = 19th value.
+	var xs []float64
+	for i := 20; i >= 1; i-- { // unsorted input
+		xs = append(xs, float64(i))
+	}
+	d := NewDist(xs)
+	if d.N != 20 || d.Min != 1 || d.Max != 20 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if d.P50 != 10 || d.P95 != 19 {
+		t.Fatalf("percentiles p50=%v p95=%v, want 10 and 19 (nearest rank)", d.P50, d.P95)
+	}
+	if d.Mean != 10.5 {
+		t.Fatalf("mean = %v, want 10.5", d.Mean)
+	}
+	if xs[0] != 20 {
+		t.Fatal("NewDist must not reorder its input")
+	}
+	one := NewDist([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.Mean != 7 {
+		t.Fatalf("singleton dist = %+v", one)
+	}
+}

@@ -18,10 +18,15 @@ import (
 // so speculative-attempt cancellation and preemption never leak slots.
 type SlotPool struct {
 	policy  Policy
-	perNode int
+	perNode int // current target width (slots per node)
+	base    int // width the pool was created with (PoolSet mismatch check)
 	free    []int
 	queues  [][]*poolWaiter
 	held    map[*JobHandle]int
+	// debt counts slots Shrink retired while tasks were still running on
+	// them: each Release absorbs one unit of debt instead of granting the
+	// slot, draining the pool to its new width without killing anything.
+	debt    []int
 	arrival int64
 }
 
@@ -41,9 +46,11 @@ func NewSlotPool(policy Policy, nodes, perNode int) *SlotPool {
 	return &SlotPool{
 		policy:  policy,
 		perNode: perNode,
+		base:    perNode,
 		free:    newFilled(nodes, perNode),
 		queues:  make([][]*poolWaiter, nodes),
 		held:    make(map[*JobHandle]int),
+		debt:    make([]int, nodes),
 	}
 }
 
@@ -112,12 +119,17 @@ func (sp *SlotPool) Acquire(p *sim.Proc, node int, h *JobHandle, reason string) 
 }
 
 // Release returns one of h's slots on node, granting it to the best
-// waiter, if any, under the pool's policy.
+// waiter, if any, under the pool's policy. When the node owes shrink debt
+// the slot is retired instead of granted.
 func (sp *SlotPool) Release(node int, h *JobHandle) {
 	if sp.held[h] <= 0 {
 		panic("sched: Release without matching Acquire")
 	}
 	sp.held[h]--
+	if sp.debt[node] > 0 {
+		sp.debt[node]--
+		return
+	}
 	sp.free[node]++
 	sp.grant(node)
 }
@@ -159,9 +171,11 @@ func (sp *SlotPool) better(a, b *poolWaiter) bool {
 }
 
 // Grow widens the pool to perNode slots on every node (a no-op if it is
-// already at least that wide), granting the new slots to waiters. Pools
-// only ever grow: engines whose slot layout depends on the job (DataMPI's
-// A communicator) widen the shared pool rather than strand ranks.
+// already at least that wide), granting the new slots to waiters. Growth
+// first forgives any outstanding shrink debt — slots that were marked for
+// retirement but whose tasks are still running simply stay in service.
+// Engines whose slot layout depends on the job (DataMPI's A communicator)
+// widen the shared pool rather than strand ranks.
 func (sp *SlotPool) Grow(perNode int) {
 	if perNode <= sp.perNode {
 		return
@@ -169,10 +183,49 @@ func (sp *SlotPool) Grow(perNode int) {
 	delta := perNode - sp.perNode
 	sp.perNode = perNode
 	for node := range sp.free {
-		sp.free[node] += delta
-		sp.grant(node)
+		add := delta
+		if sp.debt[node] > 0 {
+			forgiven := sp.debt[node]
+			if forgiven > add {
+				forgiven = add
+			}
+			sp.debt[node] -= forgiven
+			add -= forgiven
+		}
+		if add > 0 {
+			sp.free[node] += add
+			sp.grant(node)
+		}
 	}
 }
+
+// Shrink narrows the pool to perNode slots on every node (a no-op if it is
+// already at most that wide) — the elastic complement of Grow. Free slots
+// are retired immediately; slots held by running tasks drain lazily, each
+// Release retiring the slot instead of granting it until the node is back
+// within its new width. No running task is ever killed by a shrink.
+func (sp *SlotPool) Shrink(perNode int) {
+	if perNode < 1 {
+		perNode = 1
+	}
+	if perNode >= sp.perNode {
+		return
+	}
+	delta := sp.perNode - perNode
+	sp.perNode = perNode
+	for node := range sp.free {
+		take := delta
+		if take > sp.free[node] {
+			take = sp.free[node]
+		}
+		sp.free[node] -= take
+		sp.debt[node] += delta - take
+	}
+}
+
+// Debt returns the slots on node still awaiting lazy retirement after a
+// Shrink (running tasks whose slots will not be re-granted).
+func (sp *SlotPool) Debt(node int) int { return sp.debt[node] }
 
 // demandHandles returns every job currently holding slots or waiting for
 // one, in admission order (deterministic despite the held map).
@@ -263,13 +316,15 @@ func NewPoolSet(policy Policy, nodes int) *PoolSet {
 // node on first use. A later caller asking for a different perNode is a
 // bug — the sizes would silently diverge from what the caller configured —
 // so the mismatch panics; engines whose per-job slot demand legitimately
-// varies use PoolGrow instead.
+// varies use PoolGrow instead. The check compares against the pool's base
+// (creation) width, so scenario-timeline Grow/Shrink events do not make a
+// later job of the same engine type trip it.
 func (ps *PoolSet) Pool(kind string, perNode int) *SlotPool {
 	if sp, ok := ps.pools[kind]; ok {
-		if sp.perNode != perNode {
+		if sp.base != perNode {
 			panic(fmt.Sprintf(
 				"sched: pool %q already sized at %d slots/node, caller wants %d; use PoolGrow for elastic kinds",
-				kind, sp.perNode, perNode))
+				kind, sp.base, perNode))
 		}
 		return sp
 	}
@@ -289,6 +344,12 @@ func (ps *PoolSet) PoolGrow(kind string, perNode int) *SlotPool {
 	}
 	sp.Grow(perNode)
 	return sp
+}
+
+// Get returns the pool named kind if it exists.
+func (ps *PoolSet) Get(kind string) (*SlotPool, bool) {
+	sp, ok := ps.pools[kind]
+	return sp, ok
 }
 
 // Pools returns every pool in creation order.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/job"
@@ -84,12 +85,13 @@ func Solo(eng *sim.Engine, nodes int) *JobControl {
 // tracker owns every admitted job's task attempts, enabling speculative
 // execution and preemption across jobs.
 type Queue struct {
-	eng     *sim.Engine
-	pools   *PoolSet
-	tracker *TaskTracker
-	slack   float64
-	subs    []*Submission
-	nextSeq int
+	eng      *sim.Engine
+	pools    *PoolSet
+	tracker  *TaskTracker
+	slack    float64
+	subs     []*Submission
+	nextSeq  int
+	timeline []TimelineEntry
 }
 
 // NewQueue creates a queue over a simulation engine and cluster size.
@@ -102,16 +104,20 @@ func NewQueue(eng *sim.Engine, nodes int, policy Policy) *Queue {
 }
 
 // SetSpeculation enables/configures speculative execution for every job
-// submitted to the queue. Call before Run.
+// submitted to the queue. Call before Run. New code should prefer the
+// declarative equivalent, datampi.WithSpeculation on a Scenario.
 func (q *Queue) SetSpeculation(c SpeculationConfig) { q.tracker.SetSpeculation(c) }
 
 // SetPreemption enables/configures Fair-policy slot preemption for every
-// job submitted to the queue. Call before Run.
+// job submitted to the queue. Call before Run. New code should prefer the
+// declarative equivalent, datampi.WithPreemption on a Scenario.
 func (q *Queue) SetPreemption(c PreemptionConfig) { q.tracker.SetPreemption(c) }
 
 // SetLocalitySlack sets the delay-scheduling slack every submitted job's
 // Placer uses (fraction of a balanced wave a node may exceed for
-// locality; see Placer.LocalitySlack). Call before submitting.
+// locality; see Placer.LocalitySlack). Call before submitting. New code
+// should prefer the declarative equivalent, datampi.WithLocalitySlack on
+// a Scenario.
 func (q *Queue) SetLocalitySlack(slack float64) { q.slack = slack }
 
 // TrackerStats returns the task-lifecycle counters (backups, kills,
@@ -120,13 +126,23 @@ func (q *Queue) TrackerStats() TrackerStats { return q.tracker.Stats() }
 
 // Submission tracks one admitted job until its result is available.
 type Submission struct {
-	name string
-	res  job.Result
-	done bool
+	name    string
+	tenant  string
+	arrival float64 // simulated admission time (deferred jobs: their due time)
+	handle  *JobHandle
+	res     job.Result
+	done    bool
 }
 
 // Name returns the submission's label ("engine:job").
 func (s *Submission) Name() string { return s.name }
+
+// Tenant returns the fair-share identity the job was admitted under ("" if
+// none).
+func (s *Submission) Tenant() string { return s.tenant }
+
+// Arrival returns the simulated time the job was (or will be) admitted.
+func (s *Submission) Arrival() float64 { return s.arrival }
 
 // Done reports whether the job has completed.
 func (s *Submission) Done() bool { return s.done }
@@ -150,13 +166,36 @@ func (q *Queue) SubmitAfter(delay float64, e Engine, spec job.Spec) *Submission 
 // given fair-share weight: under the Fair policy a weight-2 job receives
 // twice the slots of a weight-1 job when both contend (production job
 // tiers). Weights at or below zero are treated as 1.
+//
+// Prefer the declarative Scenario API (datampi.NewScenario) for new code;
+// it expresses arrival traces, tenants and timed perturbations in one
+// place and reports per-tenant latency.
 func (q *Queue) SubmitWeighted(delay, weight float64, e Engine, spec job.Spec) *Submission {
+	return q.Admit("", q.eng.Now()+delay, weight, e, spec)
+}
+
+// Admit admits a job for tenant at absolute simulated time at (clamped to
+// now) with the given fair-share weight — the scenario trace's deferred-
+// admission primitive. A job due now starts synchronously, exactly like
+// Submit; a future one is held until the sim clock reaches its arrival,
+// so FIFO priority follows actual admission order. Tenant is a fair-share
+// identity for report accounting; "" means none.
+//
+// Contract: the queue's locality slack is captured into the job's control
+// at Admit time, not when a deferred job later starts — per-tenant slack
+// (datampi.TenantSlack) relies on this by setting and restoring the queue
+// slack around each Admit call.
+func (q *Queue) Admit(tenant string, at, weight float64, e Engine, spec job.Spec) *Submission {
 	if weight <= 0 {
 		weight = 1
 	}
-	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: weight}
+	now := q.eng.Now()
+	if at < now {
+		at = now
+	}
+	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: weight, tenant: tenant}
 	ctl := &JobControl{handle: h, pools: q.pools, tracker: q.tracker, slack: q.slack}
-	sub := &Submission{name: h.name}
+	sub := &Submission{name: h.name, tenant: tenant, arrival: at, handle: h}
 	start := func() {
 		h.seq = q.nextSeq
 		q.nextSeq++
@@ -165,13 +204,79 @@ func (q *Queue) SubmitWeighted(delay, weight float64, e Engine, spec job.Spec) *
 			sub.done = true
 		})
 	}
-	if delay > 0 {
-		q.eng.Schedule(delay, func() { start() })
+	if at > now {
+		q.eng.Schedule(at-now, func() { start() })
 	} else {
 		start()
 	}
 	q.subs = append(q.subs, sub)
 	return sub
+}
+
+// Now returns the current simulated time of the queue's engine.
+func (q *Queue) Now() float64 { return q.eng.Now() }
+
+// TimelineEntry is one named perturbation on a queue's event timeline.
+type TimelineEntry struct {
+	T    float64 // simulated time the event fires
+	Name string
+}
+
+// At schedules a named perturbation at absolute simulated time t,
+// recording it on the queue's timeline. An event due at or before the
+// current time runs synchronously — the imperative "poke the cluster
+// before Run" idiom, preserved so scenario runs reproduce it exactly.
+func (q *Queue) At(t float64, name string, fn func()) {
+	now := q.eng.Now()
+	if t <= now {
+		q.timeline = append(q.timeline, TimelineEntry{T: now, Name: name})
+		fn()
+		return
+	}
+	q.timeline = append(q.timeline, TimelineEntry{T: t, Name: name})
+	q.eng.Schedule(t-now, fn)
+}
+
+// Timeline returns the recorded perturbation events sorted by time
+// (insertion order on ties).
+func (q *Queue) Timeline() []TimelineEntry {
+	out := append([]TimelineEntry(nil), q.timeline...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// NodeDown routes a node failure to the task tracker: attempts on the
+// node are killed and requeued on healthy nodes (see
+// TaskTracker.NodeDown). Pair it with dfs.FS.NodeDown and
+// cluster.Cluster.NodeDown for the full failure perturbation.
+func (q *Queue) NodeDown(node int) { q.tracker.NodeDown(node) }
+
+// SlotSeconds returns the simulated slot-seconds s's attempts have held —
+// the raw material of the scenario report's slot-occupancy shares.
+func (q *Queue) SlotSeconds(s *Submission) float64 { return q.tracker.SlotSeconds(s.handle) }
+
+// GrowPool widens the slot pool named kind to perNode slots per node. It
+// reports whether the pool existed; growing a pool no engine has created
+// yet is a no-op (pool kinds are engine-owned).
+func (q *Queue) GrowPool(kind string, perNode int) bool {
+	sp, ok := q.pools.Get(kind)
+	if !ok {
+		return false
+	}
+	sp.Grow(perNode)
+	return true
+}
+
+// ShrinkPool narrows the slot pool named kind to perNode slots per node,
+// draining lazily (see SlotPool.Shrink). It reports whether the pool
+// existed.
+func (q *Queue) ShrinkPool(kind string, perNode int) bool {
+	sp, ok := q.pools.Get(kind)
+	if !ok {
+		return false
+	}
+	sp.Shrink(perNode)
+	return true
 }
 
 // Run drives the simulation until every admitted job completes and returns

@@ -53,7 +53,12 @@ type JobHandle struct {
 	name   string
 	seq    int
 	weight float64
+	tenant string // fair-share identity for scenario accounting ("" = none)
 }
 
 // Name returns the label the job was admitted under.
 func (h *JobHandle) Name() string { return h.name }
+
+// Tenant returns the fair-share identity the job was admitted under, or
+// "" for jobs submitted outside a tenant.
+func (h *JobHandle) Tenant() string { return h.tenant }

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/sim"
+)
+
+// TestShrinkBelowRunning narrows a fully-busy pool below its running task
+// count: nothing is killed, each release retires a slot instead of
+// granting it, and capacity converges to the new width.
+func TestShrinkBelowRunning(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSlotPool(FIFO, 1, 3)
+	h := &JobHandle{name: "job", weight: 1}
+	running, completed := 0, 0
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Go("t", func(p *sim.Proc) {
+			pool.Acquire(p, 0, h, "slot")
+			running++
+			p.Sleep(float64(10 * (i + 1))) // release at t=10, 20, 30
+			running--
+			completed++
+			pool.Release(0, h)
+		})
+	}
+	eng.Schedule(1, func() {
+		pool.Shrink(1)
+		if pool.PerNode() != 1 {
+			t.Fatalf("perNode = %d after shrink, want 1", pool.PerNode())
+		}
+		if running != 3 {
+			t.Fatalf("shrink killed tasks: running=%d", running)
+		}
+		if pool.Debt(0) != 2 {
+			t.Fatalf("debt = %d, want 2 (all slots busy at shrink time)", pool.Debt(0))
+		}
+	})
+	eng.Schedule(15, func() {
+		// First release retired its slot: still no free capacity.
+		if pool.Free(0) != 0 || pool.Debt(0) != 1 {
+			t.Fatalf("after first release: free=%d debt=%d, want 0/1", pool.Free(0), pool.Debt(0))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 3 {
+		t.Fatalf("completed = %d, want all 3 (shrink never kills)", completed)
+	}
+	// 3 releases: two absorbed by debt, the last freed.
+	if pool.Free(0) != 1 || pool.Debt(0) != 0 {
+		t.Fatalf("end state free=%d debt=%d, want 1/0", pool.Free(0), pool.Debt(0))
+	}
+}
+
+// TestShrinkThenGrowForgivesDebt: growing a shrunk pool cancels pending
+// retirements before adding fresh slots.
+func TestShrinkThenGrowForgivesDebt(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSlotPool(FIFO, 1, 4)
+	h := &JobHandle{name: "job", weight: 1}
+	for i := 0; i < 4; i++ {
+		eng.Go("t", func(p *sim.Proc) {
+			pool.Acquire(p, 0, h, "slot")
+			p.Sleep(10)
+			pool.Release(0, h)
+		})
+	}
+	eng.Schedule(1, func() {
+		pool.Shrink(2) // all 4 busy: debt 2
+		if pool.Debt(0) != 2 {
+			t.Fatalf("debt = %d, want 2", pool.Debt(0))
+		}
+		pool.Grow(3) // forgive 1 unit of debt, no new free slots yet
+		if pool.Debt(0) != 1 || pool.Free(0) != 0 {
+			t.Fatalf("after grow to 3: debt=%d free=%d, want 1/0", pool.Debt(0), pool.Free(0))
+		}
+		pool.Grow(5) // forgive the last unit and free one new slot
+		if pool.Debt(0) != 0 || pool.Free(0) != 1 {
+			t.Fatalf("after grow to 5: debt=%d free=%d, want 0/1", pool.Debt(0), pool.Free(0))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Free(0) != 5 {
+		t.Fatalf("final free = %d, want 5", pool.Free(0))
+	}
+}
+
+// TestPreemptionHeldOffDuringShrinkDrain: while a node owes shrink debt,
+// the preemption monitor must not kill for a starved waiter — the freed
+// slot would be retired by the debt, wasting the victim's work with
+// nothing reaching the waiter.
+func TestPreemptionHeldOffDuringShrinkDrain(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSlotPool(Fair, 1, 4)
+	tr := NewTaskTracker(eng, SpeculationConfig{},
+		PreemptionConfig{Enabled: true, Patience: 3, CheckInterval: 1})
+	a := &JobHandle{name: "a", seq: 0, weight: 1}
+	b := &JobHandle{name: "b", seq: 1, weight: 1}
+	aDone, bDone := 0, 0
+	for i := 0; i < 4; i++ {
+		tr.Launch(TaskSpec{
+			Name: "a-task", Node: 0, Pool: pool, Handle: a,
+			Group: "g", Restartable: true,
+			Body: func(p *sim.Proc, att *Attempt) (any, error) {
+				p.Sleep(30)
+				return nil, nil
+			},
+			Done: func(p *sim.Proc, v any, att *Attempt) error { aDone++; return nil },
+		})
+	}
+	eng.Schedule(1, func() { pool.Shrink(2) }) // all 4 busy: debt 2
+	eng.Schedule(2, func() {
+		for i := 0; i < 2; i++ {
+			tr.Launch(TaskSpec{
+				Name: "b-task", Node: 0, Pool: pool, Handle: b,
+				Group: "g", Restartable: true,
+				Body: func(p *sim.Proc, att *Attempt) (any, error) {
+					p.Sleep(5)
+					return nil, nil
+				},
+				Done: func(p *sim.Proc, v any, att *Attempt) error { bDone++; return nil },
+			})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aDone != 4 || bDone != 2 {
+		t.Fatalf("aDone=%d bDone=%d, want 4 and 2", aDone, bDone)
+	}
+	st := tr.Stats()
+	// A's tasks all release at t=30: two slots retire the debt, the rest
+	// serve B — no kill should ever have fired into the drain.
+	if st.Preemptions != 0 || st.Kills != 0 {
+		t.Fatalf("stats = %+v, want no preemption while the shrink drains", st)
+	}
+	if pool.Free(0) != 2 || pool.Debt(0) != 0 {
+		t.Fatalf("end state free=%d debt=%d, want 2/0", pool.Free(0), pool.Debt(0))
+	}
+}
+
+// TestShrinkRetiredSlotsNotGranted: waiters queued behind a shrink only
+// get slots down to the new width.
+func TestShrinkRetiredSlotsNotGranted(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSlotPool(FIFO, 1, 2)
+	h := &JobHandle{name: "job", weight: 1}
+	running := 0
+	task := func(d float64) func(p *sim.Proc) {
+		return func(p *sim.Proc) {
+			pool.Acquire(p, 0, h, "slot")
+			running++
+			p.Sleep(d)
+			running--
+			pool.Release(0, h)
+		}
+	}
+	eng.Go("a", task(10))
+	eng.Go("b", task(10))
+	eng.Go("c", task(10)) // queued
+	eng.Go("d", task(10)) // queued
+	eng.Schedule(1, func() { pool.Shrink(1) })
+	eng.Schedule(11, func() {
+		// a and b released at t=10: one slot retired, one granted to c.
+		if running != 1 {
+			t.Fatalf("running = %d after shrink to 1, want 1", running)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Free(0) != 1 || pool.Debt(0) != 0 {
+		t.Fatalf("end state free=%d debt=%d, want 1/0", pool.Free(0), pool.Debt(0))
+	}
+}

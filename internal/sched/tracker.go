@@ -99,10 +99,12 @@ type TaskSpec struct {
 	// Done). Only restartable tasks get speculative backups or are
 	// preemption victims.
 	Restartable bool
-	// Pre runs in the first attempt's proc before slot acquisition (e.g.
-	// the reduce slow-start wait). Returning true skips the task: Final
-	// runs, Body/Done/Fail do not. Later attempts never run Pre — any
-	// admission gate has by then been passed.
+	// Pre runs in an attempt's proc before slot acquisition (e.g. the
+	// reduce slow-start wait) until one attempt passes it. Returning true
+	// skips the task: Final runs, Body/Done/Fail do not. Attempts spawned
+	// after the gate was passed (speculative backups, preemption requeues)
+	// never run Pre; an attempt killed *inside* Pre — say by node failure —
+	// leaves the gate unpassed, so its retry takes the gate again.
 	Pre func(p *sim.Proc) bool
 	// Body executes one attempt and returns the task's result. It must be
 	// side-effect-free on shared job state when Restartable (losing
@@ -163,10 +165,11 @@ func (a *Attempt) Report(frac float64) {
 }
 
 type trackedTask struct {
-	spec     TaskSpec
-	attempts []*Attempt
-	settled  bool // a result (or skip/failure) has been delivered
-	backups  int
+	spec       TaskSpec
+	attempts   []*Attempt
+	settled    bool // a result (or skip/failure) has been delivered
+	gatePassed bool // some attempt made it through Pre (or there is none)
+	backups    int
 }
 
 // TrackerStats counts lifecycle events for reporting.
@@ -174,8 +177,9 @@ type TrackerStats struct {
 	Tasks       int // logical tasks launched
 	Backups     int // speculative backup attempts spawned
 	BackupWins  int // tasks won by a backup attempt
-	Kills       int // attempts cancelled (lost races + preemptions)
+	Kills       int // attempts cancelled (lost races, preemptions, node loss)
 	Preemptions int // attempts killed (and requeued) to feed a starved job
+	Retries     int // attempts requeued on a healthy node after node failure
 }
 
 // TaskTracker owns task attempts for every job admitted to one queue: it
@@ -196,6 +200,16 @@ type TaskTracker struct {
 	// (job, kind) as tasks settle, so monitor ticks never rescan history.
 	groups map[groupKey]*groupStat
 
+	// down marks failed nodes: no attempt is placed there and attempts
+	// caught on one are killed and requeued (NodeDown).
+	down map[int]bool
+
+	// slotSec integrates per-job slot occupancy (simulated seconds an
+	// attempt held a slot), accrued as each attempt releases — the
+	// scenario report's slot-share accounting. Pure bookkeeping: it adds
+	// no simulation events.
+	slotSec map[*JobHandle]float64
+
 	outstanding int
 	timer       *sim.Timer
 	stats       TrackerStats
@@ -212,7 +226,13 @@ type groupStat struct{ rates, durs []float64 }
 // NewTaskTracker creates a tracker over the simulation engine. The zero
 // configs disable speculation and preemption.
 func NewTaskTracker(eng *sim.Engine, spec SpeculationConfig, pre PreemptionConfig) *TaskTracker {
-	t := &TaskTracker{eng: eng, seen: make(map[*SlotPool]bool), groups: make(map[groupKey]*groupStat)}
+	t := &TaskTracker{
+		eng:     eng,
+		seen:    make(map[*SlotPool]bool),
+		groups:  make(map[groupKey]*groupStat),
+		down:    make(map[int]bool),
+		slotSec: make(map[*JobHandle]float64),
+	}
 	t.SetSpeculation(spec)
 	t.SetPreemption(pre)
 	return t
@@ -258,8 +278,17 @@ func (t *TaskTracker) Launch(ts TaskSpec) {
 	t.arm()
 }
 
-// spawn starts one attempt of task on node.
+// spawn starts one attempt of task on node, rerouting to a healthy node
+// when the preferred one is down.
 func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
+	if t.down[node] {
+		alt := t.altNode(task)
+		if alt < 0 {
+			t.failTask(task, fmt.Errorf("sched: no healthy node for task %s (node %d down)", task.spec.Name, node))
+			return
+		}
+		node = alt
+	}
 	att := &Attempt{task: task, node: node, index: len(task.attempts), backup: backup}
 	task.attempts = append(task.attempts, att)
 	name := task.spec.Name
@@ -282,18 +311,21 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			// while queued) and let the proc die.
 			att.finished = true
 			if holding {
-				task.spec.Pool.Release(node, task.spec.Handle)
+				t.releaseSlot(task, att, node)
 			}
 		}()
-		if att.index == 0 && task.spec.Pre != nil && task.spec.Pre(p) {
-			// Admission gate says skip (e.g. the job already failed):
-			// settle without running the body or taking a slot.
-			att.finished = true
-			t.settle(task)
-			if task.spec.Final != nil {
-				task.spec.Final()
+		if task.spec.Pre != nil && !task.gatePassed {
+			if task.spec.Pre(p) {
+				// Admission gate says skip (e.g. the job already failed):
+				// settle without running the body or taking a slot.
+				att.finished = true
+				t.settle(task)
+				if task.spec.Final != nil {
+					task.spec.Final()
+				}
+				return
 			}
-			return
+			task.gatePassed = true
 		}
 		task.spec.Pool.Acquire(p, node, task.spec.Handle, "slot")
 		holding = true
@@ -309,7 +341,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			if err == nil && task.spec.Discard != nil {
 				task.spec.Discard(v)
 			}
-			task.spec.Pool.Release(node, task.spec.Handle)
+			t.releaseSlot(task, att, node)
 			holding = false
 			return
 		}
@@ -328,12 +360,129 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		if err != nil && task.spec.Fail != nil {
 			task.spec.Fail(err)
 		}
-		task.spec.Pool.Release(node, task.spec.Handle)
+		t.releaseSlot(task, att, node)
 		holding = false
 		if task.spec.Final != nil {
 			task.spec.Final()
 		}
 	})
+}
+
+// releaseSlot hands an attempt's slot back, accruing its occupancy to the
+// owning job's slot-second integral. Every started attempt passes through
+// here exactly once (win, photo finish, failure or kill unwind).
+func (t *TaskTracker) releaseSlot(task *trackedTask, att *Attempt, node int) {
+	if att.started {
+		t.slotSec[task.spec.Handle] += t.eng.Now() - att.start
+	}
+	task.spec.Pool.Release(node, task.spec.Handle)
+}
+
+// SlotSeconds returns the simulated slot-seconds job h's attempts have
+// held so far — winning, losing and killed attempts alike. The scenario
+// report derives per-tenant slot-occupancy shares from it.
+func (t *TaskTracker) SlotSeconds(h *JobHandle) float64 { return t.slotSec[h] }
+
+// failTask settles a task that can no longer produce a result (e.g. its
+// only attempt died with a failed node) and delivers Fail/Final exactly
+// once, mirroring the winner path's bookkeeping.
+func (t *TaskTracker) failTask(task *trackedTask, err error) {
+	if task.settled {
+		return
+	}
+	t.settle(task)
+	if task.spec.Fail != nil {
+		task.spec.Fail(err)
+	}
+	if task.spec.Final != nil {
+		task.spec.Final()
+	}
+}
+
+// NodeDown marks node failed for scheduling: every in-flight attempt
+// there is killed, and a task left with no live attempt is requeued on a
+// healthy node (the excluded-node bookkeeping mirrors speculation's
+// alternate-node placement) instead of failing the job. A non-restartable
+// attempt whose body had already started cannot be re-executed — its
+// in-flight state died with the node — so its task fails. Later launches
+// and backup attempts route around down nodes. Call from kernel context
+// (a timeline event), never from a proc running on the dying node.
+func (t *TaskTracker) NodeDown(node int) {
+	if t.down[node] {
+		return
+	}
+	t.down[node] = true
+	for _, task := range t.tasks {
+		if task.settled {
+			continue
+		}
+		var dead []*Attempt
+		for _, a := range task.attempts {
+			if !a.finished && !a.killed && a.node == node {
+				dead = append(dead, a)
+			}
+		}
+		if len(dead) == 0 {
+			continue
+		}
+		for _, a := range dead {
+			a.killed = true
+			a.proc.Cancel()
+			t.stats.Kills++
+		}
+		live := false
+		for _, a := range task.attempts {
+			if !a.finished && !a.killed {
+				live = true
+				break
+			}
+		}
+		if live {
+			continue // a healthy sibling attempt still races to settle it
+		}
+		lost := false
+		for _, a := range dead {
+			if a.started && !task.spec.Restartable {
+				lost = true
+				break
+			}
+		}
+		if lost {
+			t.failTask(task, fmt.Errorf(
+				"sched: node %d failed with non-restartable task %s in flight", node, task.spec.Name))
+			continue
+		}
+		alt := t.altNode(task)
+		if alt < 0 {
+			t.failTask(task, fmt.Errorf(
+				"sched: no healthy node to retry task %s after node %d failure", task.spec.Name, node))
+			continue
+		}
+		t.stats.Retries++
+		t.spawn(task, alt, false)
+	}
+}
+
+// altNode picks a healthy node for a retried or rerouted attempt: first
+// speculation's excluded-node placement (backupNode — no node that
+// already hosted an attempt, most free slots), then, unlike a backup, it
+// may fall back to any healthy node when every one has hosted an attempt.
+// Returns -1 only when the whole cluster is down.
+func (t *TaskTracker) altNode(task *trackedTask) int {
+	if node := t.backupNode(task); node >= 0 {
+		return node
+	}
+	pool := task.spec.Pool
+	best := -1
+	for node := 0; node < pool.Nodes(); node++ {
+		if t.down[node] {
+			continue
+		}
+		if best < 0 || pool.Free(node) > pool.Free(best) {
+			best = node
+		}
+	}
+	return best
 }
 
 // settle marks a task resolved and, when it was the last outstanding one,
@@ -471,8 +620,9 @@ func (t *TaskTracker) speculate() {
 }
 
 // backupNode picks the node for a speculative attempt: not yet used by
-// any attempt of the task, preferring the most free slots (lowest index
-// on ties). Returns -1 when every node already hosts an attempt.
+// any attempt of the task and not down, preferring the most free slots
+// (lowest index on ties). Returns -1 when every healthy node already
+// hosts an attempt.
 func (t *TaskTracker) backupNode(task *trackedTask) int {
 	used := make(map[int]bool, len(task.attempts))
 	for _, a := range task.attempts {
@@ -481,7 +631,7 @@ func (t *TaskTracker) backupNode(task *trackedTask) int {
 	pool := task.spec.Pool
 	best := -1
 	for node := 0; node < pool.Nodes(); node++ {
-		if used[node] {
+		if used[node] || t.down[node] {
 			continue
 		}
 		if best < 0 || pool.Free(node) > pool.Free(best) {
@@ -502,6 +652,13 @@ func (t *TaskTracker) preempt() {
 		}
 		starved, node := pool.Starved(now, t.pre.Patience)
 		if starved == nil {
+			continue
+		}
+		if pool.Debt(node) > 0 {
+			// A shrink is still draining this node: a kill would free a
+			// slot only for the debt to retire it, wasting the victim's
+			// work with nothing reaching the starved waiter. Hold off
+			// until the node is back within its width.
 			continue
 		}
 		var victim *Attempt

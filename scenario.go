@@ -1,0 +1,632 @@
+package datampi
+
+// The Scenario API is the declarative face of multi-tenant execution: a
+// whole evaluation — who the tenants are, which jobs arrive when, what
+// goes wrong mid-trace, and which scheduling features are on — is
+// described up front and run deterministically in one call. It replaces
+// the imperative idiom (construct a Queue, call Submit/SubmitWeighted,
+// sprinkle SetSpeculation/SetPreemption/SetLocalitySlack, poke SlowNode
+// before Run) that made BigDataBench-style workload traces awkward to
+// express, and it returns a structured Report with per-job and per-tenant
+// response-time distributions, slot-occupancy shares, the perturbation
+// timeline and the task-lifecycle counters.
+//
+//	sc := datampi.NewScenario(tb,
+//		datampi.WithPolicy(datampi.Fair),
+//		datampi.WithSpeculation(datampi.SpeculationConfig{Enabled: true}),
+//		datampi.Tenant("analytics", 2, eng),
+//		datampi.Tenant("adhoc", 1, eng),
+//		datampi.PoissonArrivals("adhoc", 0.05, 12, 42, mkGrepJob),
+//		datampi.Arrive("analytics", 0, wordCountJob),
+//		datampi.At(120, datampi.SlowNode(7, 4)),
+//		datampi.At(300, datampi.RestoreNode(7)),
+//	)
+//	rep, err := sc.Run()
+//
+// Runs are deterministic: the same scenario (same testbed seed, same
+// arrival seeds) reproduces the same report bit for bit.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/datampi/datampi-go/internal/metrics"
+	"github.com/datampi/datampi-go/internal/sched"
+)
+
+// Dist is a latency-distribution summary (count, mean, nearest-rank
+// p50/p95, extremes) used by scenario reports.
+type Dist = metrics.Dist
+
+// TimelineEntry is one named perturbation on a scenario's timeline.
+type TimelineEntry = sched.TimelineEntry
+
+// Arrival is one job arriving for a tenant at a scenario-relative time —
+// the row format of a workload trace (see Trace).
+type Arrival struct {
+	Tenant string
+	At     float64 // seconds after the scenario starts
+	Job    Job
+}
+
+// Event is a timed perturbation applied to the running scenario. Build
+// them with SlowNode, RestoreNode, NodeDown, GrowSlots and ShrinkSlots,
+// and schedule them with At.
+type Event struct {
+	name     string
+	apply    func(rc *runCtx)
+	validate func(tb *Testbed) error // nil = nothing to check before Run
+}
+
+// Name returns the event's timeline label.
+func (e Event) Name() string { return e.name }
+
+// runCtx is the live context a scheduled Event mutates.
+type runCtx struct {
+	tb    *Testbed
+	q     *Queue
+	start float64         // simulated time the scenario began
+	slow  map[int]float64 // cumulative SlowNode factor per node
+	notes []string        // events that fired but had no effect
+}
+
+// noteMiss records an event that fired without taking effect, so the
+// report never claims a perturbation that did not happen.
+func (rc *runCtx) noteMiss(name, why string) {
+	rc.notes = append(rc.notes, fmt.Sprintf("event %s at t=%.0fs had no effect: %s",
+		name, rc.q.Now()-rc.start, why))
+}
+
+// checkNode validates a node index against the scenario's testbed at Run
+// time, so a typo fails fast instead of panicking mid-simulation.
+func checkNode(name string, node int) func(tb *Testbed) error {
+	return func(tb *Testbed) error {
+		if node < 0 || node >= tb.Cluster.N() {
+			return fmt.Errorf("datampi: event %s: node %d out of range [0,%d)", name, node, tb.Cluster.N())
+		}
+		return nil
+	}
+}
+
+// SlowNode builds an event degrading node i's CPU and disk service rates
+// by factor (factor 4 = four times slower) — a failing disk, a throttled
+// CPU, a noisy neighbour. In-flight work re-splits at the new rates.
+func SlowNode(node int, factor float64) Event {
+	name := fmt.Sprintf("slow-node-%d-x%g", node, factor)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			rc.tb.Cluster.SlowNode(node, factor)
+			f := rc.slow[node]
+			if f == 0 {
+				f = 1
+			}
+			rc.slow[node] = f * factor
+		},
+		validate: func(tb *Testbed) error {
+			if err := checkNode(name, node)(tb); err != nil {
+				return err
+			}
+			if factor <= 0 {
+				return fmt.Errorf("datampi: event %s: factor must be positive", name)
+			}
+			return nil
+		},
+	}
+}
+
+// RestoreNode builds an event undoing every SlowNode the scenario has
+// applied to node i so far, returning it to full speed. Slowdowns applied
+// outside the scenario (an imperative Testbed.SlowNode) are not tracked
+// and not undone; a restore that finds nothing to undo is flagged in
+// Report.Notes.
+func RestoreNode(node int) Event {
+	name := fmt.Sprintf("restore-node-%d", node)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			f := rc.slow[node]
+			if f == 0 || f == 1 {
+				rc.noteMiss(name, "no scenario-applied slowdown to undo")
+				return
+			}
+			rc.tb.Cluster.SlowNode(node, 1/f)
+			rc.slow[node] = 1
+		},
+		validate: checkNode(name, node),
+	}
+}
+
+// NodeDown builds an event failing node i outright: the DFS stops serving
+// its replicas, the scheduler stops placing attempts there, and attempts
+// caught on it are killed and retried on healthy nodes (non-restartable
+// in-flight tasks fail their job — DataMPI A ranks hold streamed state).
+func NodeDown(node int) Event {
+	name := fmt.Sprintf("node-down-%d", node)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			rc.tb.FS.NodeDown(node)
+			rc.tb.Cluster.NodeDown(node)
+			rc.q.NodeDown(node)
+		},
+		validate: checkNode(name, node),
+	}
+}
+
+// GrowSlots builds an event widening the slot pool named kind (e.g.
+// "mr-map", "dm-o", "spark-worker") to perNode slots per node — DataMPI's
+// elastic pool growth on the scenario clock. Growing a pool no engine has
+// created yet is a no-op.
+func GrowSlots(kind string, perNode int) Event {
+	name := fmt.Sprintf("grow-slots-%s-%d", kind, perNode)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			if !rc.q.GrowPool(kind, perNode) {
+				rc.noteMiss(name, fmt.Sprintf("no engine has created pool %q yet", kind))
+			}
+		},
+		validate: func(tb *Testbed) error {
+			if perNode < 1 {
+				return fmt.Errorf("datampi: event %s: perNode must be at least 1", name)
+			}
+			return nil
+		},
+	}
+}
+
+// ShrinkSlots builds an event narrowing the slot pool named kind to
+// perNode slots per node; slots drain lazily as running tasks release
+// them (no task is killed by the shrink itself).
+//
+// Caution with gang-scheduled pools: DataMPI's "dm-a" communicator needs
+// all of a job's A ranks resident at once (the engine re-grows the pool
+// per job for exactly that reason). Shrinking it below a running job's
+// ranks-per-node while its A phase assembles can strand resident ranks
+// waiting on siblings that can no longer get slots — a simulated
+// deadlock, reported by Run as jobs that did not complete. Wave-style
+// pools ("mr-map", "mr-reduce", "spark-worker") drain safely.
+func ShrinkSlots(kind string, perNode int) Event {
+	name := fmt.Sprintf("shrink-slots-%s-%d", kind, perNode)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			if !rc.q.ShrinkPool(kind, perNode) {
+				rc.noteMiss(name, fmt.Sprintf("no engine has created pool %q yet", kind))
+			}
+		},
+		validate: func(tb *Testbed) error {
+			if perNode < 1 {
+				return fmt.Errorf("datampi: event %s: perNode must be at least 1", name)
+			}
+			return nil
+		},
+	}
+}
+
+// scenarioTenant is one declared fair-share identity.
+type scenarioTenant struct {
+	name     string
+	weight   float64
+	eng      ConcurrentEngine
+	slack    float64
+	slackSet bool
+}
+
+// timedEvent pairs an Event with its scenario-relative fire time.
+type timedEvent struct {
+	at float64
+	ev Event
+}
+
+// Scenario is a declarative multi-tenant run description. Build it with
+// NewScenario and the functional options, then call Run.
+type Scenario struct {
+	tb       *Testbed
+	policy   Policy
+	spec     SpeculationConfig
+	pre      PreemptionConfig
+	slack    float64
+	fid      Fidelity
+	fidSet   bool
+	tenants  []*scenarioTenant
+	byName   map[string]*scenarioTenant
+	arrivals []Arrival
+	events   []timedEvent
+	err      error
+}
+
+// ScenarioOption configures a Scenario under construction.
+type ScenarioOption func(*Scenario)
+
+// TenantOption configures one tenant declaration.
+type TenantOption func(*scenarioTenant)
+
+// NewScenario builds a scenario over an existing testbed. Options declare
+// tenants, arrivals, timed events and scheduling features; configuration
+// errors are collected and returned by Run.
+func NewScenario(tb *Testbed, opts ...ScenarioOption) *Scenario {
+	s := &Scenario{tb: tb, policy: FIFO, byName: make(map[string]*scenarioTenant)}
+	if tb == nil || tb.Cluster == nil || tb.FS == nil {
+		s.fail(fmt.Errorf("datampi: NewScenario needs a testbed with a cluster and filesystem"))
+		return s
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// fail records the first configuration error for Run to report.
+func (s *Scenario) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Tenant declares a fair-share identity: jobs arriving under name run on
+// eng and, under the Fair policy, share slots in proportion to weight
+// (weights at or below zero are treated as 1).
+func Tenant(name string, weight float64, eng ConcurrentEngine, opts ...TenantOption) ScenarioOption {
+	return func(s *Scenario) {
+		if name == "" {
+			s.fail(fmt.Errorf("datampi: tenant needs a name"))
+			return
+		}
+		if eng == nil {
+			s.fail(fmt.Errorf("datampi: tenant %s needs an engine", name))
+			return
+		}
+		if _, dup := s.byName[name]; dup {
+			s.fail(fmt.Errorf("datampi: tenant %s declared twice", name))
+			return
+		}
+		if weight <= 0 {
+			weight = 1
+		}
+		t := &scenarioTenant{name: name, weight: weight, eng: eng}
+		for _, opt := range opts {
+			opt(t)
+		}
+		s.tenants = append(s.tenants, t)
+		s.byName[name] = t
+	}
+}
+
+// TenantSlack overrides the scenario's delay-scheduling slack for one
+// tenant's jobs (see WithLocalitySlack).
+func TenantSlack(slack float64) TenantOption {
+	return func(t *scenarioTenant) {
+		t.slack = slack
+		t.slackSet = true
+	}
+}
+
+// Arrive schedules one job for tenant at scenario-relative time at.
+func Arrive(tenant string, at float64, j Job) ScenarioOption {
+	return func(s *Scenario) {
+		s.arrivals = append(s.arrivals, Arrival{Tenant: tenant, At: at, Job: j})
+	}
+}
+
+// Trace appends a whole workload trace — arrivals replayed as recorded.
+func Trace(arrivals []Arrival) ScenarioOption {
+	return func(s *Scenario) {
+		s.arrivals = append(s.arrivals, arrivals...)
+	}
+}
+
+// PoissonArrivals schedules n jobs for tenant as an open-loop Poisson
+// process with the given arrival rate (jobs per simulated second):
+// inter-arrival gaps are exponentially distributed, drawn from a
+// deterministic generator seeded with seed, so the same seed always
+// produces the same trace. mk builds the i-th arriving job (0-based) —
+// typically the same workload against a fresh output path.
+func PoissonArrivals(tenant string, rate float64, n int, seed int64, mk func(i int) Job) ScenarioOption {
+	return func(s *Scenario) {
+		if rate <= 0 {
+			s.fail(fmt.Errorf("datampi: PoissonArrivals rate must be positive, got %v", rate))
+			return
+		}
+		if mk == nil {
+			s.fail(fmt.Errorf("datampi: PoissonArrivals needs a job builder"))
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		at := 0.0
+		for i := 0; i < n; i++ {
+			at += -math.Log(1-rng.Float64()) / rate
+			s.arrivals = append(s.arrivals, Arrival{Tenant: tenant, At: at, Job: mk(i)})
+		}
+	}
+}
+
+// At schedules a timed perturbation at scenario-relative time t. Events
+// at or before time zero apply before the first admission (the imperative
+// "configure the cluster before Run" idiom); later events fire on the sim
+// clock, after any arrival sharing their timestamp.
+func At(t float64, ev Event) ScenarioOption {
+	return func(s *Scenario) {
+		s.events = append(s.events, timedEvent{at: t, ev: ev})
+	}
+}
+
+// WithPolicy selects the slot-contention policy (FIFO or Fair; the
+// default is FIFO).
+func WithPolicy(p Policy) ScenarioOption {
+	return func(s *Scenario) { s.policy = p }
+}
+
+// WithSpeculation enables/configures speculative execution for every job
+// in the scenario (replaces Queue.SetSpeculation).
+func WithSpeculation(c SpeculationConfig) ScenarioOption {
+	return func(s *Scenario) { s.spec = c }
+}
+
+// WithPreemption enables/configures Fair-policy slot preemption for
+// starved jobs (replaces Queue.SetPreemption).
+func WithPreemption(c PreemptionConfig) ScenarioOption {
+	return func(s *Scenario) { s.pre = c }
+}
+
+// WithLocalitySlack sets the delay-scheduling slack every job's Placer
+// uses (replaces Queue.SetLocalitySlack); TenantSlack overrides it per
+// tenant.
+func WithLocalitySlack(slack float64) ScenarioOption {
+	return func(s *Scenario) { s.slack = slack }
+}
+
+// WithFidelity pins the simulation-kernel fidelity the scenario's timings
+// are captured against. Fidelity is a property of the testbed (set it in
+// TestbedConfig.Fidelity — resources snapshot it at construction), so the
+// pin is validated rather than applied: Run returns an error if the
+// testbed was built with a different fidelity, which keeps
+// reproducibility contracts (golden-pinned reports) from silently running
+// on the wrong allocators.
+func WithFidelity(f Fidelity) ScenarioOption {
+	return func(s *Scenario) {
+		s.fid = f
+		s.fidSet = true
+	}
+}
+
+// JobReport is one job's outcome within a scenario report.
+type JobReport struct {
+	Tenant  string
+	Arrival float64 // scenario-relative arrival time
+	// Response is completion minus arrival — what the tenant waited,
+	// queueing included. Zero if the job failed before producing an end
+	// time.
+	Response    float64
+	SlotSeconds float64 // slot occupancy across all the job's attempts
+	Result      Result  // the engine's full result (timings, counters, error)
+}
+
+// TenantReport aggregates one tenant's jobs.
+type TenantReport struct {
+	Name        string
+	Weight      float64
+	Jobs        int
+	Failed      int
+	Response    Dist    // response-time distribution of the tenant's successful jobs
+	SlotSeconds float64 // total slot occupancy of the tenant's attempts
+	SlotShare   float64 // fraction of all slot-seconds consumed in the scenario
+}
+
+// Report is a completed scenario's structured outcome.
+type Report struct {
+	// Jobs lists every admitted job in admission order (arrival time,
+	// declaration order on ties).
+	Jobs []JobReport
+	// Tenants aggregates per-tenant latency and slot shares, in
+	// declaration order.
+	Tenants []TenantReport
+	// Timeline is the perturbation log (scenario-relative times).
+	Timeline []TimelineEntry
+	// Notes flags events that fired but had no effect (e.g. growing a
+	// slot pool no engine had created yet), so the timeline is never
+	// read as claiming a perturbation that did not happen.
+	Notes []string
+	// Tracker carries the task-lifecycle counters (backups, kills,
+	// preemptions, node-failure retries).
+	Tracker TrackerStats
+	// Start and End bracket the jobs: earliest arrival and latest
+	// completion, scenario-relative.
+	Start, End float64
+	// Makespan is the full simulated span of the run, from Run until the
+	// simulation drained (trailing lazy frees included) — comparable to
+	// the imperative eng.Now()-based accounting.
+	Makespan float64
+}
+
+// Err returns the first job error in admission order, or nil.
+func (r *Report) Err() error {
+	for i := range r.Jobs {
+		if err := r.Jobs[i].Result.Err; err != nil {
+			return fmt.Errorf("datampi: scenario job %s (%s): %w",
+				r.Jobs[i].Result.Job, r.Jobs[i].Tenant, err)
+		}
+	}
+	return nil
+}
+
+// Render formats the report as an aligned per-tenant table with the
+// timeline and lifecycle counters, for CLIs and examples.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %5s %6s %8s %8s %8s %9s\n",
+		"tenant", "weight", "jobs", "failed", "p50(s)", "p95(s)", "mean(s)", "slotshare")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-12s %6g %5d %6d %8.1f %8.1f %8.1f %8.0f%%\n",
+			t.Name, t.Weight, t.Jobs, t.Failed,
+			t.Response.P50, t.Response.P95, t.Response.Mean, t.SlotShare*100)
+	}
+	for _, te := range r.Timeline {
+		fmt.Fprintf(&b, "event: t=%.0fs %s\n", te.T, te.Name)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	span := r.End - r.Start
+	if span < 0 {
+		span = 0 // no job recorded an end time (e.g. everything deadlocked)
+	}
+	fmt.Fprintf(&b, "jobs %d, span %.0fs (first arrival %.0fs, last completion %.0fs), makespan %.0fs\n",
+		len(r.Jobs), span, r.Start, r.End, r.Makespan)
+	st := r.Tracker
+	fmt.Fprintf(&b, "tracker: %d tasks, %d backups (%d wins), %d kills, %d preemptions, %d retries\n",
+		st.Tasks, st.Backups, st.BackupWins, st.Kills, st.Preemptions, st.Retries)
+	return b.String()
+}
+
+// Run executes the scenario: it admits every arrival at its simulated
+// time, fires the timed events, drives the shared simulation to
+// completion, and assembles the report. It returns the report together
+// with the first job error, if any (the report is valid either way, so
+// callers can inspect partial outcomes).
+func (s *Scenario) Run() (*Report, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.arrivals) == 0 {
+		return nil, fmt.Errorf("datampi: scenario has no arrivals")
+	}
+	if s.fidSet && s.tb.Cluster.Eng.Fidelity() != s.fid {
+		return nil, fmt.Errorf("datampi: scenario pinned to fidelity %v but the testbed was built with %v",
+			s.fid, s.tb.Cluster.Eng.Fidelity())
+	}
+	for i := range s.arrivals {
+		a := &s.arrivals[i]
+		if _, ok := s.byName[a.Tenant]; !ok {
+			return nil, fmt.Errorf("datampi: arrival %d references undeclared tenant %q", i, a.Tenant)
+		}
+		if a.Job.FS == nil {
+			return nil, fmt.Errorf("datampi: arrival %d (job %s) has no filesystem; build jobs with the workload constructors", i, a.Job.Name)
+		}
+		if a.Job.FS.Cluster() != s.tb.Cluster {
+			return nil, fmt.Errorf("datampi: arrival %d (job %s) is staged on a different testbed", i, a.Job.Name)
+		}
+		if a.At < 0 {
+			return nil, fmt.Errorf("datampi: arrival %d (job %s) has negative arrival time %v", i, a.Job.Name, a.At)
+		}
+	}
+	for _, t := range s.tenants {
+		if t.eng.Cluster() != s.tb.Cluster {
+			return nil, fmt.Errorf("datampi: tenant %s's engine runs on a different testbed", t.name)
+		}
+	}
+	for _, te := range s.events {
+		if te.ev.validate == nil {
+			continue
+		}
+		if err := te.ev.validate(s.tb); err != nil {
+			return nil, err
+		}
+	}
+
+	eng := s.tb.Cluster.Eng
+	runStart := eng.Now()
+	q := s.tb.NewQueue(s.policy) // carries the testbed's dead-node exclusions
+	q.SetSpeculation(s.spec)
+	q.SetPreemption(s.pre)
+	q.SetLocalitySlack(s.slack)
+	rc := &runCtx{tb: s.tb, q: q, start: runStart, slow: make(map[int]float64)}
+
+	// Events due at or before the start apply now, before the first
+	// admission — the imperative "perturb before Run" pattern the golden
+	// compatibility pins rely on.
+	events := append([]timedEvent(nil), s.events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	for _, te := range events {
+		if te.at <= 0 {
+			q.At(runStart, te.ev.name, func() { te.ev.apply(rc) })
+		}
+	}
+
+	// Admissions in trace order (arrival time, declaration order on
+	// ties): FIFO job priority then follows actual admission order.
+	order := make([]int, len(s.arrivals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return s.arrivals[order[i]].At < s.arrivals[order[j]].At })
+	subs := make([]*sched.Submission, len(order))
+	arrs := make([]Arrival, len(order))
+	for oi, ai := range order {
+		a := s.arrivals[ai]
+		t := s.byName[a.Tenant]
+		if t.slackSet {
+			q.SetLocalitySlack(t.slack)
+		}
+		subs[oi] = q.Admit(a.Tenant, runStart+a.At, t.weight, t.eng, a.Job)
+		if t.slackSet {
+			q.SetLocalitySlack(s.slack)
+		}
+		arrs[oi] = a
+	}
+
+	// Later events fire on the queue's timeline.
+	for _, te := range events {
+		if te.at > 0 {
+			te := te
+			q.At(runStart+te.at, te.ev.name, func() { te.ev.apply(rc) })
+		}
+	}
+
+	results := q.Run()
+	makespan := eng.Now() - runStart
+
+	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes}
+	for _, te := range q.Timeline() {
+		rep.Timeline = append(rep.Timeline, TimelineEntry{T: te.T - runStart, Name: te.Name})
+	}
+	perTenant := make(map[string][]float64)
+	slotTotal := 0.0
+	first, last := math.Inf(1), 0.0
+	for i, res := range results {
+		a := arrs[i]
+		slotSec := q.SlotSeconds(subs[i])
+		jr := JobReport{Tenant: a.Tenant, Arrival: a.At, SlotSeconds: slotSec, Result: res}
+		if res.Err == nil {
+			jr.Response = (res.End - runStart) - a.At
+			perTenant[a.Tenant] = append(perTenant[a.Tenant], jr.Response)
+		}
+		// Failed jobs count toward the completion horizon too, as long as
+		// the engine recorded when they ended (a deadlocked job has no
+		// end time and is excluded).
+		if end := res.End - runStart; res.End > 0 && end > last {
+			last = end
+		}
+		if a.At < first {
+			first = a.At
+		}
+		slotTotal += slotSec
+		rep.Jobs = append(rep.Jobs, jr)
+	}
+	if !math.IsInf(first, 1) {
+		rep.Start = first
+	}
+	rep.End = last
+	for _, t := range s.tenants {
+		tr := TenantReport{Name: t.name, Weight: t.weight, Response: metrics.NewDist(perTenant[t.name])}
+		for i := range rep.Jobs {
+			if rep.Jobs[i].Tenant != t.name {
+				continue
+			}
+			tr.Jobs++
+			if rep.Jobs[i].Result.Err != nil {
+				tr.Failed++
+			}
+			tr.SlotSeconds += rep.Jobs[i].SlotSeconds
+		}
+		if slotTotal > 0 {
+			tr.SlotShare = tr.SlotSeconds / slotTotal
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	return rep, rep.Err()
+}

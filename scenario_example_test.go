@@ -1,0 +1,42 @@
+package datampi_test
+
+import (
+	"fmt"
+
+	datampi "github.com/datampi/datampi-go"
+)
+
+// ExampleNewScenario declares a two-tenant trace — an analytics tenant
+// with twice the fair share and an ad-hoc tenant submitting a Poisson
+// stream — with a mid-run slow node, runs it deterministically, and reads
+// the per-tenant latency report.
+func ExampleNewScenario() {
+	tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 1024, Seed: 3})
+	in := tb.GenerateText("/in", 256*datampi.MB, 1)
+	eng := datampi.New(tb.FS, datampi.DefaultConfig())
+
+	grep := func(i int) datampi.Job {
+		return datampi.Grep(tb.FS, in, fmt.Sprintf("/out/grep-%d", i), `th[ae]`, 8)
+	}
+	rep, err := datampi.NewScenario(tb,
+		datampi.WithPolicy(datampi.Fair),
+		datampi.Tenant("analytics", 2, eng),
+		datampi.Tenant("adhoc", 1, eng),
+		datampi.Arrive("analytics", 0, datampi.WordCount(tb.FS, in, "/out/wc", 8)),
+		datampi.PoissonArrivals("adhoc", 0.1, 3, 42, grep),
+		datampi.At(10, datampi.SlowNode(7, 2)),
+		datampi.At(40, datampi.RestoreNode(7)),
+	).Run()
+	if err != nil {
+		fmt.Println("scenario failed:", err)
+		return
+	}
+	for _, t := range rep.Tenants {
+		fmt.Printf("%s: %d jobs, p50 <= p95: %v\n", t.Name, t.Jobs, t.Response.P50 <= t.Response.P95)
+	}
+	fmt.Printf("timeline events: %d, all jobs done: %v\n", len(rep.Timeline), rep.Err() == nil)
+	// Output:
+	// analytics: 1 jobs, p50 <= p95: true
+	// adhoc: 3 jobs, p50 <= p95: true
+	// timeline events: 2, all jobs done: true
+}
