@@ -90,6 +90,14 @@ type (
 	// TrackerStats reports task-lifecycle counters (speculative backups,
 	// kills, preemptions) via Queue.TrackerStats.
 	TrackerStats = sched.TrackerStats
+	// ReplicationMonitorConfig tunes the DFS replication monitor a
+	// scenario runs with WithReplicationMonitor.
+	ReplicationMonitorConfig = dfs.MonitorConfig
+	// ReplicationMonitorStats counts the monitor's recovery work (see
+	// dfs.ReplicationMonitor.Stats).
+	ReplicationMonitorStats = dfs.MonitorStats
+	// FsckReport summarizes DFS replica health (FS.Fsck).
+	FsckReport = dfs.FsckReport
 	// Fidelity selects the simulation kernel's fluid allocators
 	// (FidelityFast or FidelityReference).
 	Fidelity = sim.Fidelity

@@ -1,0 +1,139 @@
+package datampi_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	datampi "github.com/datampi/datampi-go"
+)
+
+// faultEngines builds one engine of each framework over a testbed.
+func faultEngines() map[string]func(tb *datampi.Testbed) datampi.ConcurrentEngine {
+	return map[string]func(tb *datampi.Testbed) datampi.ConcurrentEngine{
+		"Hadoop":  func(tb *datampi.Testbed) datampi.ConcurrentEngine { return datampi.NewHadoop(tb.FS) },
+		"Spark":   func(tb *datampi.Testbed) datampi.ConcurrentEngine { return datampi.NewSpark(tb.FS) },
+		"DataMPI": func(tb *datampi.Testbed) datampi.ConcurrentEngine { return datampi.New(tb.FS, datampi.DefaultConfig()) },
+	}
+}
+
+func sortedOutput(fs *datampi.FS, prefix string) []string {
+	var out []string
+	for _, pr := range datampi.ReadTextOutput(fs, prefix) {
+		out = append(out, pr.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertNoTempFiles(t *testing.T, label string, fs *datampi.FS) {
+	t.Helper()
+	for _, name := range fs.List() {
+		if strings.HasPrefix(name, "/_tmp/") {
+			t.Fatalf("%s: uncommitted temp file left behind: %s", label, name)
+		}
+	}
+}
+
+// TestFaultRecoveryAllEngines kills a node at varying fractions of each
+// engine's clean runtime of a shuffle-heavy Text Sort and requires the
+// job to finish with byte-identical output: Hadoop re-runs lost attempts
+// and recomputes dead map outputs, Spark regenerates lost shuffle
+// partitions, DataMPI re-homes the dead node's A ranks and replays the O
+// side — while the replication monitor repairs the DFS underneath.
+func TestFaultRecoveryAllEngines(t *testing.T) {
+	for name, mk := range faultEngines() {
+		run := func(killAt float64) (*datampi.Report, []string, *datampi.Testbed) {
+			tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 8192, Seed: 3})
+			in := tb.GenerateText("/in", 8*datampi.GB, 1)
+			opts := []datampi.ScenarioOption{
+				datampi.Tenant("jobs", 1, mk(tb)),
+				datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/out", 32)),
+				datampi.WithReplicationMonitor(datampi.ReplicationMonitorConfig{}),
+			}
+			if killAt >= 0 {
+				opts = append(opts, datampi.At(killAt, datampi.NodeDown(7)))
+			}
+			rep, err := datampi.NewScenario(tb, opts...).Run()
+			if err != nil {
+				t.Fatalf("%s killAt=%v: %v", name, killAt, err)
+			}
+			return rep, sortedOutput(tb.FS, "/out"), tb
+		}
+		clean, cleanOut, _ := run(-1)
+		cleanEl := clean.Jobs[0].Result.Elapsed
+		sawRecovery := false
+		for _, frac := range []float64{0.35, 0.65, 0.9} {
+			killAt := frac * cleanEl
+			rep, out, tb := run(killAt)
+			if len(out) != len(cleanOut) {
+				t.Fatalf("%s killAt=%.0f: %d output records, clean run had %d", name, killAt, len(out), len(cleanOut))
+			}
+			for i := range out {
+				if out[i] != cleanOut[i] {
+					t.Fatalf("%s killAt=%.0f: output record %d differs after recovery", name, killAt, i)
+				}
+			}
+			assertNoTempFiles(t, name, tb.FS)
+			// A late kill can shave a hair off (output replicas stop
+			// landing on the dead node), but recovery must never make the
+			// run meaningfully faster than clean.
+			if rep.Jobs[0].Result.Elapsed < 0.98*cleanEl {
+				t.Fatalf("%s killAt=%.0f: faulted run implausibly faster than clean (%v < %v)",
+					name, killAt, rep.Jobs[0].Result.Elapsed, cleanEl)
+			}
+			if rep.Recovery.BlocksRereplicated == 0 {
+				t.Fatalf("%s killAt=%.0f: replication monitor restored nothing", name, killAt)
+			}
+			if rep.Recovery.TasksRecomputed > 0 || rep.Tracker.Retries > 0 {
+				sawRecovery = true
+			}
+		}
+		if !sawRecovery {
+			t.Fatalf("%s: no kill time exercised task retry or recompute", name)
+		}
+	}
+}
+
+// TestMapOnlySpeculativeCommitRace is the acceptance golden for the
+// output committer: map-only (DFS-writing, final-stage) tasks race
+// speculative backups on a cluster with one 4x-degraded node, a backup
+// must win at least one task, and the committed output must be exactly
+// the clean run's — one part file per split, no temp leftovers.
+func TestMapOnlySpeculativeCommitRace(t *testing.T) {
+	for name, mk := range faultEngines() {
+		run := func(slow bool) (*datampi.Report, []string, *datampi.Testbed) {
+			tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 8192, Seed: 3})
+			in := tb.GenerateText("/in", 4*datampi.GB, 1)
+			opts := []datampi.ScenarioOption{
+				datampi.WithSpeculation(datampi.SpeculationConfig{Enabled: true}),
+				datampi.Tenant("jobs", 1, mk(tb)),
+				// Reducers=0 makes the job map-only: every task writes its
+				// part file straight to the DFS.
+				datampi.Arrive("jobs", 0, datampi.WordCount(tb.FS, in, "/out", 0)),
+			}
+			if slow {
+				opts = append(opts, datampi.At(0, datampi.SlowNode(7, 4)))
+			}
+			rep, err := datampi.NewScenario(tb, opts...).Run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return rep, sortedOutput(tb.FS, "/out"), tb
+		}
+		_, cleanOut, _ := run(false)
+		rep, out, tb := run(true)
+		if rep.Tracker.Backups == 0 || rep.Tracker.BackupWins == 0 {
+			t.Fatalf("%s: no speculative backup raced a DFS-writing task: %+v", name, rep.Tracker)
+		}
+		if len(out) == 0 || len(out) != len(cleanOut) {
+			t.Fatalf("%s: %d output records under speculation, clean run had %d", name, len(out), len(cleanOut))
+		}
+		for i := range out {
+			if out[i] != cleanOut[i] {
+				t.Fatalf("%s: output record %d differs under a speculative race (duplicate or lost commit?)", name, i)
+			}
+		}
+		assertNoTempFiles(t, name, tb.FS)
+	}
+}

@@ -215,6 +215,38 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	oDone := 0
 
 	var wg sim.WaitGroup
+
+	// A-side recovery: a restarted A rank lost its in-memory intermediate
+	// data, so the engine replays the whole O side into it — every replay
+	// send reaches every A rank, and the live ones discard the duplicate
+	// streams by split tag. Rounds are shared: ranks restarted together
+	// ride one replay.
+	var rec *aRecovery
+	launchReplay := func(o, gen int) {
+		wg.Add(1)
+		ctl.Tracker().NoteRecompute()
+		ctl.Launch(sched.TaskSpec{
+			Name:        fmt.Sprintf("O-%d~r%d", o, gen),
+			Node:        world.NodeOf(o),
+			Pool:        oSlots,
+			Group:       "O",
+			Restartable: true,
+			CommitFS:    e.FS,
+			Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+				return nil, e.runOTask(p, att, &spec, world, o, nO, nA, splitsOf[o])
+			},
+			Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+				res.AddCounter("o_replays", 1)
+				return nil
+			},
+			Fail: fail,
+			// taskDone may chain a pending round (wg.Add) and must run
+			// before wg.Done so the driver cannot slip through a zero.
+			Final: func() { rec.taskDone(eng.Now()); wg.Done() },
+		})
+	}
+	rec = &aRecovery{nO: nO, launch: launchReplay, pendingAt: -1}
+
 	eng.Go("datampi-driver:"+spec.Name, func(driver *sim.Proc) {
 		// mpirun spawns every task process across the cluster at once —
 		// no per-wave JVM costs, the paper's "low overhead" property.
@@ -229,19 +261,20 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		}
 		for o := 0; o < nO; o++ {
 			o := o
-			// O tasks with an A side are restartable: the body re-reads its
-			// immutable splits and re-streams partitions, and duplicate
-			// sends are harmless because the A side keeps one message per
-			// split tag and discards re-deliveries (the duplicate bytes
-			// still cross the simulated network, as real speculative
-			// shuffles do). Map-only O tasks write the DFS from the body
-			// and stay single-attempt.
+			// O tasks are restartable: the body re-reads its immutable
+			// splits and re-streams partitions, and duplicate sends are
+			// harmless because the A side keeps one message per split tag
+			// and discards re-deliveries (the duplicate bytes still cross
+			// the simulated network, as real speculative shuffles do).
+			// Map-only O tasks write the DFS through the attempt-scoped
+			// committer, so they can race backups too.
 			ctl.Launch(sched.TaskSpec{
 				Name:        fmt.Sprintf("O-%d", o),
 				Node:        world.NodeOf(o),
 				Pool:        oSlots,
 				Group:       "O",
-				Restartable: nA > 0,
+				Restartable: true,
+				CommitFS:    e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
 					return nil, e.runOTask(p, att, &spec, world, o, nO, nA, splitsOf[o])
 				},
@@ -259,16 +292,21 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 			a := a
 			// A tasks are never speculated: dichotomic A ranks accumulate
 			// the job's intermediate data in memory as it streams in, so a
-			// backup could not re-receive consumed messages. DataMPI's own
-			// fault story for the A side is checkpoint/restart (Config.
-			// Checkpoint), not re-execution.
+			// backup could not re-receive consumed messages. They are
+			// Retryable, though: losing the node restarts the rank on a
+			// healthy one (PreRetry widens the gang-scheduled pool so the
+			// re-homed rank can get a slot the failure took out of
+			// service), and the engine replays the O side into it.
 			ctl.Launch(sched.TaskSpec{
-				Name:  fmt.Sprintf("A-%d", a),
-				Node:  world.NodeOf(nO + a),
-				Pool:  aSlots,
-				Group: "A",
+				Name:      fmt.Sprintf("A-%d", a),
+				Node:      world.NodeOf(nO + a),
+				Pool:      aSlots,
+				Group:     "A",
+				Retryable: true,
+				PreRetry:  func() { aSlots.Grow(aSlots.PerNode() + 1) },
+				CommitFS:  e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
-					return nil, e.runATask(p, att, &spec, world, nO, a, totalSplits, res)
+					return nil, e.runATask(p, att, &spec, world, nO, a, totalSplits, res, rec)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("a_tasks", 1)
@@ -293,6 +331,60 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 			done(*res)
 		}
 	})
+}
+
+// aRecovery coordinates O-side replay for restarted A ranks. A restarted
+// rank flushes its mailbox (its buffered state died with the node) and
+// calls ensureReplay with the flush time: a replay round re-executes every
+// O task, whose sends re-deliver every split tag to every A rank — live
+// ranks discard the duplicates, the restarted rank is fed from scratch. A
+// round already in flight that started at or after the flush covers it; a
+// flush arriving mid-round queues one follow-up round.
+type aRecovery struct {
+	nO          int
+	launch      func(o, gen int)
+	active      bool
+	started     float64 // sim time the in-flight round began
+	outstanding int     // replay tasks still to finish in the round
+	pendingAt   float64 // latest uncovered flush time (-1 when none)
+	gen         int     // round number, for replay task names
+}
+
+// ensureReplay requests that every split tag be re-sent after flushT.
+func (r *aRecovery) ensureReplay(flushT float64) {
+	if r.active {
+		if r.started >= flushT {
+			return // the in-flight round began after our mailbox flush
+		}
+		if flushT > r.pendingAt {
+			r.pendingAt = flushT
+		}
+		return
+	}
+	r.start(flushT)
+}
+
+func (r *aRecovery) start(now float64) {
+	r.active = true
+	r.started = now
+	r.outstanding = r.nO
+	r.pendingAt = -1
+	r.gen++
+	for o := 0; o < r.nO; o++ {
+		r.launch(o, r.gen)
+	}
+}
+
+// taskDone retires one replay task; completing a round starts the queued
+// follow-up, if any.
+func (r *aRecovery) taskDone(now float64) {
+	r.outstanding--
+	if r.outstanding == 0 {
+		r.active = false
+		if r.pendingAt >= 0 {
+			r.start(now)
+		}
+	}
 }
 
 // acquireDaemons charges the per-node runtime residency when the first
@@ -432,8 +524,11 @@ func (e *Engine) runOTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 		sendBufHeld -= sendBufMem
 
 		if mapOnly && spec.Output != "" {
+			// Attempt-scoped temp write; the tracker renames the winner's
+			// file into place (exactly-once even under a speculative race).
 			enc := job.EncodeTextOutput(parts[0])
-			fw := e.FS.CreateScaled(fmt.Sprintf("%s/part-o-%05d", spec.Output, blk.ID), node, emitScale)
+			name := att.ScopedPath(fmt.Sprintf("%s/part-o-%05d", spec.Output, blk.ID))
+			fw := e.FS.CreateScaled(name, node, emitScale)
 			if err := fw.Write(p, enc); err != nil {
 				return err
 			}
@@ -453,18 +548,39 @@ func splitTag(blk *dfs.Block) int { return int(blk.ID) + 1000 }
 // tag: when a straggling O attempt and its speculative backup both stream
 // a split's partition, the bytes cross the network twice but only the
 // first delivery is kept.
-func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result) error {
+//
+// Node-failure recovery: a restarted attempt (the rank re-homed onto a
+// healthy node) flushes its mailbox and asks for an O-side replay round —
+// the same tag dedup that absorbs speculative duplicates lets every live
+// rank ignore the replayed streams while this one is fed from scratch.
+func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result, rec *aRecovery) error {
 	cfg := &e.Cfg
 
 	rank := nO + a
-	node := w.NodeOf(rank)
+	node := att.Node()
 	mem := e.C.Node(node).Mem
 	p.Sleep(cfg.TaskStart)
 	mem.MustAlloc(cfg.ProcBaseMem)
 	defer mem.Free(cfg.ProcBaseMem)
+	if w.NodeOf(rank) != node {
+		// The rank was re-homed off its failed preferred node: sends from
+		// here on route to the new node.
+		w.Rebind(rank, node)
+	}
+	if att.Index() > 0 {
+		// Restarted after node failure: the buffered intermediate data and
+		// mailbox died with the machine. Start empty and have the O side
+		// replayed.
+		w.Flush(rank)
+		rec.ensureReplay(p.Engine().Now())
+		res.AddCounter("a_restarts", 1)
+	}
 
 	var runs [][]kv.Pair
 	bufferedNominal, bufferedMem, spilledNominal := 0.0, 0.0, 0.0
+	// Registered before the receive loop so a kill mid-receive (node
+	// failure) releases the buffered intermediate data.
+	defer func() { mem.Free(bufferedMem) }()
 	var checkpointNominal float64
 	seenTags := make(map[int]bool, totalSplits)
 	for len(seenTags) < totalSplits {
@@ -518,7 +634,7 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 		// checkpointing, the job fails).
 		e.Cfg.FailATask = -1
 		if !cfg.Checkpoint {
-			mem.Free(bufferedMem)
+			// The deferred release frees the buffered data.
 			return fmt.Errorf("datampi: A task %d failed with no checkpoint", a)
 		}
 		p.Sleep(cfg.RestartDelay)
@@ -539,8 +655,6 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 		bufferedNominal = checkpointNominal
 		spilledNominal = 0
 	}
-
-	defer func() { mem.Free(bufferedMem) }()
 
 	totalNominal := bufferedNominal + spilledNominal
 	var wg sim.WaitGroup
@@ -576,7 +690,8 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 	res.OutRecords += int64(len(reduced))
 	if spec.Output != "" {
 		enc := job.EncodeTextOutput(reduced)
-		fw := e.FS.CreateScaled(fmt.Sprintf("%s/part-a-%05d", spec.Output, a), node, spec.EmitScale())
+		name := att.ScopedPath(fmt.Sprintf("%s/part-a-%05d", spec.Output, a))
+		fw := e.FS.CreateScaled(name, node, spec.EmitScale())
 		if err := fw.Write(p, enc); err != nil {
 			return err
 		}

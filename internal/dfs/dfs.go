@@ -80,6 +80,11 @@ type FS struct {
 	dead    map[int]bool
 	prof    *metrics.Profiler
 	diskUse []float64 // nominal bytes stored per node
+
+	// nodeSubs are notified (in subscription order, kernel context) when a
+	// datanode goes down or comes back — the heartbeat stream the
+	// replication monitor listens to. Unsubscribed slots are nil.
+	nodeSubs []func(node int, down bool)
 }
 
 // New creates an empty filesystem on the cluster.
@@ -165,11 +170,46 @@ func (fs *FS) placeReplicas(writer int) []int {
 }
 
 // NodeDown marks a node dead: it stops serving replicas and receives no new
-// ones. Used for failure-injection tests.
-func (fs *FS) NodeDown(i int) { fs.dead[i] = true }
+// ones. Subscribers (the replication monitor) are notified. Marking an
+// already-dead node again is a no-op and notifies nobody.
+func (fs *FS) NodeDown(i int) {
+	if fs.dead[i] {
+		return
+	}
+	fs.dead[i] = true
+	for _, fn := range fs.nodeSubs {
+		if fn != nil {
+			fn(i, true)
+		}
+	}
+}
 
-// NodeUp revives a node.
-func (fs *FS) NodeUp(i int) { delete(fs.dead, i) }
+// NodeUp revives a node: its replicas serve again (blocks re-replicated in
+// the meantime may end up over-replicated, visible in Fsck). Subscribers
+// are notified.
+func (fs *FS) NodeUp(i int) {
+	if !fs.dead[i] {
+		return
+	}
+	delete(fs.dead, i)
+	for _, fn := range fs.nodeSubs {
+		if fn != nil {
+			fn(i, false)
+		}
+	}
+}
+
+// NodeAlive reports whether datanode i is serving.
+func (fs *FS) NodeAlive(i int) bool { return !fs.dead[i] }
+
+// OnNodeEvent subscribes fn to datanode up/down transitions. fn runs in
+// kernel context at the transition; it must not block. The returned
+// function unsubscribes it.
+func (fs *FS) OnNodeEvent(fn func(node int, down bool)) (unsubscribe func()) {
+	fs.nodeSubs = append(fs.nodeSubs, fn)
+	i := len(fs.nodeSubs) - 1
+	return func() { fs.nodeSubs[i] = nil }
+}
 
 // Exists reports whether a file exists.
 func (fs *FS) Exists(name string) bool {
@@ -462,6 +502,26 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	}
 	w.f.Blocks = append(w.f.Blocks, blk)
 	w.f.Nominal += blk.Nominal
+	return nil
+}
+
+// CommitAttempt atomically renames a completed attempt's temp file to its
+// final name — the namenode metadata operation behind the task output
+// commit protocol (write to an attempt-scoped path, rename on success).
+// It charges no simulated time (a single metadata RPC) and fails when the
+// temp file does not exist or the final name is already taken, so a task
+// output can only ever be committed once.
+func (fs *FS) CommitAttempt(temp, final string) error {
+	f, ok := fs.files[temp]
+	if !ok {
+		return fmt.Errorf("dfs: commit %s: no such attempt file", temp)
+	}
+	if _, taken := fs.files[final]; taken {
+		return fmt.Errorf("dfs: commit %s: destination %s already exists", temp, final)
+	}
+	delete(fs.files, temp)
+	f.Name = final
+	fs.files[final] = f
 	return nil
 }
 

@@ -13,14 +13,18 @@ type FsckReport struct {
 	Blocks             int
 	UnderReplicated    int // blocks with fewer live replicas than configured
 	Missing            int // blocks with zero live replicas
-	LiveReplicaexcess  int // blocks above the replication factor
+	OverReplicated     int // blocks above the replication factor
 	TotalNominalStored float64
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: %d files, %d blocks, %d under-replicated, %d missing",
-		r.Files, r.Blocks, r.UnderReplicated, r.Missing)
+	return fmt.Sprintf("fsck: %d files, %d blocks, %d under-replicated, %d missing, %d over-replicated",
+		r.Files, r.Blocks, r.UnderReplicated, r.Missing, r.OverReplicated)
 }
+
+// Healthy reports whether every block has at least the configured number
+// of live replicas.
+func (r FsckReport) Healthy() bool { return r.UnderReplicated == 0 && r.Missing == 0 }
 
 // Fsck scans all block metadata and reports replica health with respect
 // to live datanodes.
@@ -31,24 +35,83 @@ func (fs *FS) Fsck() FsckReport {
 		rep.Files++
 		for _, b := range f.Blocks {
 			rep.Blocks++
-			live := 0
-			for _, loc := range b.Locations {
-				if !fs.dead[loc] {
-					live++
-				}
-			}
+			live := fs.liveReplicas(b)
 			switch {
 			case live == 0:
 				rep.Missing++
 			case live < fs.cfg.Replication:
 				rep.UnderReplicated++
 			case live > fs.cfg.Replication:
-				rep.LiveReplicaexcess++
+				rep.OverReplicated++
 			}
 			rep.TotalNominalStored += b.Nominal * float64(live)
 		}
 	}
 	return rep
+}
+
+// liveReplicas counts block b's replicas on live datanodes.
+func (fs *FS) liveReplicas(b *Block) int {
+	live := 0
+	for _, loc := range b.Locations {
+		if !fs.dead[loc] {
+			live++
+		}
+	}
+	return live
+}
+
+// liveLocs returns block b's replica locations on live datanodes — the
+// one place the liveness rule is written for list consumers (Rereplicate,
+// the replication monitor).
+func (fs *FS) liveLocs(b *Block) []int {
+	var live []int
+	for _, loc := range b.Locations {
+		if !fs.dead[loc] {
+			live = append(live, loc)
+		}
+	}
+	return live
+}
+
+// copyReplica copies one replica of b from src to a newly chosen live node
+// (excluding the given live holders), charging the simulated disk at both
+// ends and the network between them, and patches the block metadata (a
+// dead location is replaced in place). It returns the target node, or -1
+// when no eligible node exists.
+func (fs *FS) copyReplica(p *sim.Proc, b *Block, src int, live []int) int {
+	target := fs.pickNewReplica(b, live)
+	if target < 0 {
+		return -1
+	}
+	var wg sim.WaitGroup
+	wg.Add(2)
+	fs.c.Node(src).Disk.Start(b.Nominal, wg.Done)
+	fs.c.Node(target).Disk.Start(b.Nominal, wg.Done)
+	if src != target {
+		wg.Add(1)
+		fs.c.Net.StartFlow(src, target, b.Nominal, wg.Done)
+	}
+	if fs.prof != nil {
+		fs.prof.AddDiskRead(src, b.Nominal)
+		fs.prof.AddDiskWrite(target, b.Nominal)
+	}
+	p.BlockReason = "disk"
+	wg.Wait(p)
+	p.BlockReason = ""
+	fs.diskUse[target] += b.Nominal
+	replaced := false
+	for i, loc := range b.Locations {
+		if fs.dead[loc] {
+			b.Locations[i] = target
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		b.Locations = append(b.Locations, target)
+	}
+	return target
 }
 
 // Rereplicate restores the replication factor of every under-replicated
@@ -63,57 +126,19 @@ func (fs *FS) Rereplicate(p *sim.Proc) (created int, err error) {
 	for _, name := range names {
 		f := fs.files[name]
 		for _, b := range f.Blocks {
-			var live []int
-			deadSet := map[int]bool{}
-			for _, loc := range b.Locations {
-				if fs.dead[loc] {
-					deadSet[loc] = true
-				} else {
-					live = append(live, loc)
-				}
-			}
+			live := fs.liveLocs(b)
 			if len(live) == 0 {
 				lost = append(lost, b.ID)
 				continue
 			}
 			for len(live) < fs.cfg.Replication {
-				target := fs.pickNewReplica(b, live)
+				src := live[created%len(live)]
+				target := fs.copyReplica(p, b, src, live)
 				if target < 0 {
 					break // not enough live nodes
 				}
-				src := live[created%len(live)]
-				// Copy: read at source, transfer, write at target.
-				var wg sim.WaitGroup
-				wg.Add(2)
-				fs.c.Node(src).Disk.Start(b.Nominal, wg.Done)
-				fs.c.Node(target).Disk.Start(b.Nominal, wg.Done)
-				if src != target {
-					wg.Add(1)
-					fs.c.Net.StartFlow(src, target, b.Nominal, wg.Done)
-				}
-				if fs.prof != nil {
-					fs.prof.AddDiskRead(src, b.Nominal)
-					fs.prof.AddDiskWrite(target, b.Nominal)
-				}
-				p.BlockReason = "disk"
-				wg.Wait(p)
-				p.BlockReason = ""
 				live = append(live, target)
-				fs.diskUse[target] += b.Nominal
 				created++
-				// Metadata: replace one dead location or append.
-				replaced := false
-				for i, loc := range b.Locations {
-					if deadSet[loc] {
-						b.Locations[i] = target
-						delete(deadSet, loc)
-						replaced = true
-						break
-					}
-				}
-				if !replaced {
-					b.Locations = append(b.Locations, target)
-				}
 			}
 		}
 	}

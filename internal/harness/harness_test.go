@@ -11,7 +11,7 @@ var wantIDs = []string{
 	"fig2a", "fig2b", "fig3a", "fig3b", "fig3c", "fig3d",
 	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
 	"table1", "table2", "mix1", "straggler", "delaysweep",
-	"kernelchurn", "tenants",
+	"kernelchurn", "tenants", "faultsweep",
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
@@ -214,6 +214,52 @@ func TestTenantsTraceShape(t *testing.T) {
 	}
 	if rep.Render() != rep2.Render() {
 		t.Fatalf("tenants runs not byte-identical:\n--- first\n%s--- second\n%s", rep.Render(), rep2.Render())
+	}
+}
+
+// TestFaultsweepShape runs the fault sweep in quick mode and asserts the
+// acceptance properties: all three frameworks complete with output
+// byte-identical to their clean runs after a mid-job node kill, the
+// replication monitor restores replicas, and two runs render
+// byte-identically (determinism).
+func TestFaultsweepShape(t *testing.T) {
+	exp, ok := Lookup("faultsweep")
+	if !ok {
+		t.Fatal("faultsweep experiment not registered")
+	}
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("quick rows = %d, want 3 frameworks x 2 kill times", len(rep.Rows))
+	}
+	fws := map[string]bool{}
+	for _, row := range rep.Rows {
+		fws[row[0]] = true
+		if row[8] != "ok" {
+			t.Fatalf("%s killed at %ss produced wrong output: %v", row[0], row[1], row)
+		}
+		clean, fault := atof(row[2]), atof(row[3])
+		if clean <= 0 || fault <= 0 {
+			t.Fatalf("missing timings: %v", row)
+		}
+		if rerepl := atof(row[6]); rerepl == 0 {
+			t.Fatalf("%s killAt=%s: replication monitor restored no replicas: %v", row[0], row[1], row)
+		}
+		if lost := atof(row[7]); lost != 0 {
+			t.Fatalf("%s killAt=%s: data lost at replication 3: %v", row[0], row[1], row)
+		}
+	}
+	if len(fws) != 3 {
+		t.Fatalf("frameworks covered: %v, want all three", fws)
+	}
+	rep2, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != rep2.Render() {
+		t.Fatalf("faultsweep runs not byte-identical:\n--- first\n%s--- second\n%s", rep.Render(), rep2.Render())
 	}
 }
 

@@ -91,7 +91,7 @@ func init() {
 			rep.Notes = append(rep.Notes,
 				fmt.Sprintf("node %d degraded %gx in CPU and disk service rate", slowIdx, stragglerFactor),
 				"Recovered = (Slow - Spec) / (Slow - Clean): the injected slowdown clawed back by backup attempts",
-				"DataMPI speculates O tasks only; dichotomic A ranks hold streamed state and rely on checkpoint/restart instead",
+				"DataMPI speculates O tasks only; dichotomic A ranks hold streamed state (on node failure they re-home and the O side replays — see faultsweep)",
 				"runs are deterministic: repeating the experiment reproduces identical times")
 			return rep, nil
 		},

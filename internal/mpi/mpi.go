@@ -79,6 +79,23 @@ func (w *World) Size() int { return len(w.nodeOf) }
 // NodeOf returns the cluster node hosting rank r.
 func (w *World) NodeOf(r int) int { return w.nodeOf[r] }
 
+// Rebind re-homes rank r onto node — the recovery path for a rank process
+// restarted on another machine after its node failed. Later sends to r
+// charge the fabric toward the new node; messages already in flight keep
+// the route chosen at send time (they were on the wire when the machine
+// died) but deliver into r's mailbox as usual.
+func (w *World) Rebind(r, node int) {
+	if node < 0 || node >= w.c.N() {
+		panic(fmt.Sprintf("mpi: Rebind rank %d to invalid node %d", r, node))
+	}
+	w.nodeOf[r] = node
+}
+
+// Flush discards rank r's queued messages: mailbox state lives in the
+// rank process's memory, so a restarted rank starts empty and relies on
+// the senders' replay to be fed again.
+func (w *World) Flush(r int) { w.boxes[r] = nil }
+
 func (w *World) cond(rank int) *sim.Cond {
 	c, ok := w.conds[rank]
 	if !ok {

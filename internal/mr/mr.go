@@ -117,9 +117,11 @@ func (e *Engine) scale() float64 { return e.FS.Config().Scale }
 // mapOutput is a completed map task's partitioned, sorted output sitting
 // on the map node's local disk.
 type mapOutput struct {
+	mi      int // producing map task index
 	node    int
 	parts   [][]kv.Pair // sorted run per reducer
 	nominal []float64   // nominal bytes per partition
+	invalid bool        // lost with its node; a recompute entry supersedes it
 }
 
 // Run executes the job exclusively and returns its result. It drives the
@@ -188,6 +190,14 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	var mapPhaseEnd float64
 	var outputsCond sim.Cond // reducers wait here for new map outputs
 
+	// Lost-map-output recovery state: alternates are completed speculative
+	// copies that lost a photo finish (kept instead of dropped — a reducer
+	// can refetch from one when the winner's node dies), and recomputeGen
+	// numbers the re-executed map tasks.
+	altOutputs := make(map[int][]*mapOutput)
+	recomputeGen := 0
+	nodeAlive := func(n int) bool { return e.C.Alive(n) }
+
 	var jobWG sim.WaitGroup
 	var jobErr error
 	failed := func() bool { return jobErr != nil }
@@ -225,17 +235,17 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		jobWG.Add(nMaps)
 		for mi := 0; mi < nMaps; mi++ {
 			mi := mi
-			// Map tasks are restartable when there are reducers: the body
-			// re-reads its immutable split and publishes its output only
-			// through Done, so a backup attempt can race the original.
-			// Map-only tasks write the DFS from the body and stay
-			// single-attempt.
+			// Map tasks are restartable: the body re-reads its immutable
+			// split and publishes its output only through Done — map-only
+			// tasks write the DFS through the attempt-scoped committer, so
+			// they can race speculative backups too.
 			ctl.Launch(sched.TaskSpec{
 				Name:        fmt.Sprintf("map-%d", mi),
 				Node:        assignment[mi],
 				Pool:        mapSlots,
 				Group:       "map",
-				Restartable: nReduce > 0,
+				Restartable: true,
+				CommitFS:    e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
 					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce)
 				},
@@ -244,11 +254,58 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 					if e.FS.IsLocal(blocks[mi], att.Node()) {
 						res.AddCounter("data_local_maps", 1)
 					}
-					outputs = append(outputs, v.(*mapOutput))
+					mo := v.(*mapOutput)
+					mo.mi = mi
+					outputs = append(outputs, mo)
 					mapsDone++
 					if mapsDone == nMaps {
 						mapPhaseEnd = eng.Now()
 					}
+					outputsCond.Broadcast()
+					return nil
+				},
+				Discard: func(v any) {
+					// A completed backup that lost the photo finish still
+					// materialized this map's output on its own disk; keep
+					// it as a refetch source for lost-map-output recovery.
+					if mo, ok := v.(*mapOutput); ok && nReduce > 0 {
+						mo.mi = mi
+						altOutputs[mi] = append(altOutputs[mi], mo)
+					}
+				},
+				Fail:  fail,
+				Final: jobWG.Done,
+			})
+		}
+
+		// recoverMap re-executes the map whose materialized output died
+		// with its node: the recomputed output is appended to the shared
+		// slice like any late map, and reducers (which dedup by map index)
+		// pick it up from there. Requested once per lost output.
+		recoverMap := func(mo *mapOutput) {
+			if mo.invalid || jobErr != nil {
+				return // recompute already in flight, or the job is failing
+			}
+			mo.invalid = true
+			recomputeGen++
+			mi := mo.mi
+			jobWG.Add(1)
+			ctl.Tracker().NoteRecompute()
+			ctl.Launch(sched.TaskSpec{
+				Name:        fmt.Sprintf("map-%d~r%d", mi, recomputeGen),
+				Node:        assignment[mi],
+				Pool:        mapSlots,
+				Group:       "map",
+				Restartable: true,
+				CommitFS:    e.FS,
+				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce)
+				},
+				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+					res.AddCounter("maps_recomputed", 1)
+					mo2 := v.(*mapOutput)
+					mo2.mi = mi
+					outputs = append(outputs, mo2)
 					outputsCond.Broadcast()
 					return nil
 				},
@@ -280,6 +337,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				Pool:        reduceSlots,
 				Group:       "reduce",
 				Restartable: true,
+				CommitFS:    e.FS,
 				Pre: func(p *sim.Proc) bool {
 					// Slow-start: the JobTracker does not launch reducers
 					// until enough maps have finished.
@@ -289,18 +347,21 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 					return jobErr != nil
 				},
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
-					return e.runReduceTask(p, att, &spec, ri, att.Node(), nMaps, &outputs, &outputsCond, failed, res)
+					return e.runReduceTask(p, att, &spec, ri, att.Node(), nMaps, &outputs, &outputsCond, failed, res,
+						nodeAlive, altOutputs, recoverMap)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					// Commit order mirrors the pre-tracker task body: output
-					// write, then the task memory the body handed off is
-					// released, then the completion counter.
+					// write (to the attempt-scoped temp path, renamed by the
+					// tracker right after Done), then the task memory the
+					// body handed off is released, then the counter.
 					if out, ok := v.(*reduceOut); ok {
 						res.OutRecords += int64(len(out.reduced))
 						var werr error
 						if spec.Output != "" {
 							enc := job.EncodeTextOutput(out.reduced)
-							w := e.FS.CreateScaled(fmt.Sprintf("%s/part-r-%05d", spec.Output, ri), att.Node(), spec.EmitScale())
+							name := att.ScopedPath(fmt.Sprintf("%s/part-r-%05d", spec.Output, ri))
+							w := e.FS.CreateScaled(name, att.Node(), spec.EmitScale())
 							werr = w.Write(p, enc)
 							if werr == nil {
 								werr = w.Close(p)
@@ -430,9 +491,12 @@ func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk
 	p.BlockReason = ""
 
 	if mapOnly && spec.Output != "" {
-		// Map-only job: write this task's output straight to the DFS.
+		// Map-only job: write this task's output to its attempt-scoped
+		// temp path; the tracker renames the winner's file into place, so
+		// even DFS-writing map tasks can race speculative backups.
 		enc := job.EncodeTextOutput(parts[0])
-		w := e.FS.CreateScaled(fmt.Sprintf("%s/part-m-%05d", spec.Output, blk.ID), node, emitScale)
+		name := att.ScopedPath(fmt.Sprintf("%s/part-m-%05d", spec.Output, blk.ID))
+		w := e.FS.CreateScaled(name, node, emitScale)
 		if err := w.Write(p, enc); err != nil {
 			return nil, err
 		}
@@ -460,8 +524,15 @@ type reduceOut struct {
 // slice, and its memory is released on every path — by Done/Discard after
 // a completed run (via the handed-off release callback), or by the
 // deferred cleanup when the attempt is cancelled mid-fetch.
+//
+// Lost-map-output story: entries are deduplicated by producing map index,
+// and a fetch that targets a dead node falls back to a surviving
+// speculative copy when one exists (refetch) or asks recover to re-run
+// the producing map (recompute) — the recomputed output arrives as a
+// later entry in the shared slice, so the reducer just keeps scanning.
 func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, ri, node, nMaps int,
-	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result) (any, error) {
+	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result,
+	alive func(int) bool, alts map[int][]*mapOutput, recover func(*mapOutput)) (any, error) {
 	cfg := &e.Cfg
 
 	mem := e.C.Node(node).Mem
@@ -469,7 +540,8 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 	mem.MustAlloc(cfg.JVMBaseMem)
 
 	var runs [][]kv.Pair
-	fetched := 0
+	seen := make(map[int]bool, nMaps) // producing map indexes consumed
+	idx := 0
 	bufferedNominal := 0.0
 	spilledNominal := 0.0
 	bufferedMem := 0.0
@@ -483,17 +555,41 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 			release()
 		}
 	}()
-	for fetched < nMaps {
-		for fetched >= len(*outputs) {
+	for len(seen) < nMaps {
+		for idx >= len(*outputs) {
 			if failed() {
 				return nil, nil
 			}
 			cond.Wait(p, "shuffle-wait")
 		}
-		att.Report(0.8 * float64(fetched) / float64(nMaps))
-		mo := (*outputs)[fetched]
-		fetched++
+		att.Report(0.8 * float64(len(seen)) / float64(nMaps))
+		mo := (*outputs)[idx]
+		idx++
+		if seen[mo.mi] {
+			continue // a recompute superseded an entry this attempt already fetched
+		}
 		nom := mo.nominal[ri]
+		if nom > 0 && !alive(mo.node) {
+			// The materialized output died with its node. Prefer a
+			// surviving speculative copy on a live node; otherwise request
+			// a recompute and keep scanning — the replacement shows up as
+			// a later entry.
+			var alt *mapOutput
+			for _, cand := range alts[mo.mi] {
+				if alive(cand.node) {
+					alt = cand
+					break
+				}
+			}
+			if alt == nil {
+				recover(mo)
+				continue
+			}
+			res.AddCounter("shuffle_refetches", 1)
+			mo = alt
+			nom = mo.nominal[ri]
+		}
+		seen[mo.mi] = true
 		if nom == 0 {
 			if len(mo.parts[ri]) > 0 {
 				runs = append(runs, mo.parts[ri])

@@ -136,14 +136,16 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 		}
 		var jobErr error
 		var current []partData
+		var pf *stageFetch // previous stage's shuffle-recovery context
 		for si, st := range stages {
 			isLast := si == len(stages)-1
-			out, err := e.runStage(driver, st, current, slots, ctl, si, isLast, outPath)
+			out, nf, err := e.runStage(driver, st, current, pf, slots, ctl, si, isLast, outPath)
 			if err != nil {
 				jobErr = err
 				break
 			}
 			current = out
+			pf = nf
 			stageEnds = append(stageEnds, eng.Now())
 		}
 		if jobErr == nil && collect != nil {
@@ -176,23 +178,74 @@ func (e *Engine) acquireApp() {
 
 func (e *Engine) releaseApp() { e.app.Release() }
 
+// taskIn is one stage task's immutable input — kept per stage so a lost
+// shuffle output can be regenerated by re-running the producing task.
+type taskIn struct {
+	node    int
+	pairs   []kv.Pair
+	nominal float64
+	blk     *dfs.Block // source tasks read this
+	inflate float64    // decoded nominal bytes
+	fetches []partData // post-shuffle tasks fetch these
+	wide    *wideOp
+}
+
+// stageFetch is the shuffle-recovery context a stage hands its consumer:
+// the producing tasks' immutable inputs plus dedup state, so a consumer
+// whose fetch targets a dead node regenerates the producer's partitions
+// inline on its own node (Spark's lost-shuffle-output recompute, without
+// modeling the full stage-abort round trip). The first fetcher to notice
+// a loss recomputes while siblings needing the same producer wait.
+type stageFetch struct {
+	eng    *Engine
+	st     *stage
+	inputs []taskIn
+	prev   *stageFetch // the producing stage's own upstream, for recursion
+	ctl    *sched.JobControl
+	redone map[int][]partData // producer taskIdx -> regenerated partitions
+	busy   map[int]bool
+	cond   sim.Cond
+}
+
+// recover returns partition pi of the lost producer output pd, recomputing
+// the producing task on the caller's node if no sibling already did.
+// Cached-root producers recompute from their in-memory pairs — losing the
+// executor cache itself is not modeled.
+func (sf *stageFetch) recover(p *sim.Proc, att *sched.Attempt, node int, pd partData, pi int) (partData, error) {
+	ti := pd.taskIdx
+	for sf.busy[ti] {
+		sf.cond.Wait(p, "recompute-wait")
+	}
+	if rep, ok := sf.redone[ti]; ok {
+		return rep[pi], nil
+	}
+	sf.busy[ti] = true
+	// The recompute parks on simulated I/O, so this attempt can be killed
+	// mid-flight (preemption, a second node failure): release the claim on
+	// the kill unwind too, or every sibling waiter deadlocks.
+	defer func() {
+		delete(sf.busy, ti)
+		sf.cond.Broadcast()
+	}()
+	sf.ctl.Tracker().NoteRecompute()
+	tin := &sf.inputs[ti]
+	out, err := sf.eng.runTask(p, att, sf.st, node, tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, false, "", ti, sf.prev)
+	if err != nil {
+		return partData{}, err
+	}
+	sf.redone[ti] = out
+	return out[pi], nil
+}
+
 // runStage executes one stage's tasks over worker slots and returns the
-// materialized output partitions (input to the next stage).
-func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
-	slots *sched.SlotPool, ctl *sched.JobControl, si int, isLast bool, outPath string) ([]partData, error) {
+// materialized output partitions (input to the next stage) together with
+// the recovery context the next stage fetches through.
+func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, prevFetch *stageFetch,
+	slots *sched.SlotPool, ctl *sched.JobControl, si int, isLast bool, outPath string) ([]partData, *stageFetch, error) {
 
 	cfg := &e.Cfg
 	scale := e.scale()
 
-	type taskIn struct {
-		node    int
-		pairs   []kv.Pair
-		nominal float64
-		blk     *dfs.Block // source tasks read this
-		inflate float64    // decoded nominal bytes
-		fetches []partData // post-shuffle tasks fetch these
-		wide    *wideOp
-	}
 	var tasks []taskIn
 
 	switch {
@@ -203,7 +256,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 	case st.root.source != nil:
 		blocks := st.root.source.Blocks
 		if len(blocks) == 0 {
-			return nil, fmt.Errorf("rdd: empty input file")
+			return nil, nil, fmt.Errorf("rdd: empty input file")
 		}
 		nodeOf := ctl.Placer().Place(blocks)
 		for i, blk := range blocks {
@@ -215,7 +268,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 			tasks = append(tasks, taskIn{node: pi % e.C.N(), wide: w})
 		}
 	default:
-		return nil, fmt.Errorf("rdd: stage with no root")
+		return nil, nil, fmt.Errorf("rdd: stage with no root")
 	}
 
 	// For post-shuffle stages the fetches are organized here: shuffleIn
@@ -233,6 +286,11 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 		}
 	}
 
+	// The recovery context carries the inputs just built; the next stage's
+	// fetch loop recomputes through it when a producer's node dies.
+	nf := &stageFetch{eng: e, st: st, inputs: tasks, prev: prevFetch, ctl: ctl,
+		redone: make(map[int][]partData), busy: make(map[int]bool)}
+
 	results := make([]partData, 0, len(tasks))
 	var firstErr error
 	var wg sim.WaitGroup
@@ -240,21 +298,23 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 	for ti := range tasks {
 		ti := ti
 		tin := &tasks[ti]
-		// Tasks of non-final stages are restartable: their inputs (block,
-		// cache slice, shuffle partData) are immutable and their output
-		// partitions publish only through Done. Final-stage tasks write
-		// the DFS from the body and stay single-attempt.
+		// Every stage's tasks are restartable: inputs (block, cache slice,
+		// shuffle partData) are immutable, intermediate partitions publish
+		// only through Done, and final-stage DFS writes go through the
+		// attempt-scoped committer — so even output-writing tasks can race
+		// speculative backups with exactly-once committed files.
 		ctl.Launch(sched.TaskSpec{
 			Name:        fmt.Sprintf("spark-task-%d", ti),
 			Node:        tin.node,
 			Pool:        slots,
 			Group:       fmt.Sprintf("stage%d", si),
-			Restartable: !isLast,
+			Restartable: true,
+			CommitFS:    e.FS,
 			Pre:         func(p *sim.Proc) bool { return firstErr != nil },
 			Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
 				p.Sleep(cfg.TaskDispatch)
 				att.Report(0.05)
-				out, err := e.runTask(p, st, att.Node(), tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti)
+				out, err := e.runTask(p, att, st, att.Node(), tin.blk, tin.pairs, tin.nominal, tin.fetches, tin.wide, isLast, outPath, ti, prevFetch)
 				return out, err
 			},
 			Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
@@ -271,7 +331,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 	}
 	wg.Wait(driver)
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
 
 	// Cache materialization: pin this stage's output in executor memory.
@@ -299,7 +359,7 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData,
 		// not cached and later actions recompute it.
 	}
 	_ = scale
-	return results, nil
+	return results, nf, nil
 }
 
 func (e *Engine) usedExecutorMem(node int) float64 {
@@ -312,10 +372,13 @@ func (e *Engine) usedExecutorMem(node int) float64 {
 
 // runTask executes one task of a stage: obtain input (block read, cache,
 // or shuffle fetch), apply fused narrow ops, then either write shuffle
-// output, write the final file, or hand back collected pairs.
-func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
+// output, write the final file, or hand back collected pairs. att is the
+// owning attempt (nil when re-entered as a lost-shuffle recompute); prev
+// is the upstream stage's recovery context for fetches that target dead
+// nodes.
+func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, blk *dfs.Block,
 	cachedPairs []kv.Pair, cachedNominal float64, fetches []partData,
-	wide *wideOp, isLast bool, outPath string, taskIdx int) ([]partData, error) {
+	wide *wideOp, isLast bool, outPath string, taskIdx int, prev *stageFetch) ([]partData, error) {
 
 	cfg := &e.Cfg
 	scale := e.scale()
@@ -345,13 +408,32 @@ func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
 		pairs = cachedPairs
 		inputNominal = cachedNominal
 	default:
-		// Shuffle fetch: pull every map task's slice of this partition.
+		// Shuffle fetch: pull every map task's slice of this partition,
+		// reporting fractional per-fetch progress so the straggler monitor
+		// sees fetch rates rather than one opaque milestone.
 		totalNominal := 0.0
 		buffered := 0.0
-		for _, pd := range fetches {
+		for fi, pd := range fetches {
+			if att != nil {
+				att.Report(0.1 + 0.6*float64(fi)/float64(len(fetches)))
+			}
 			if pd.nominal == 0 {
 				pairs = append(pairs, pd.pairs...)
 				continue
+			}
+			if !e.C.Alive(pd.node) {
+				// The materialized map output died with its node:
+				// regenerate the producer's partitions locally (dedup'd
+				// across fetchers) and pull this partition from there.
+				rep, err := prev.recover(p, att, node, pd, taskIdx)
+				if err != nil {
+					return nil, err
+				}
+				pd = rep
+				if pd.nominal == 0 {
+					pairs = append(pairs, pd.pairs...)
+					continue
+				}
 			}
 			var fw sim.WaitGroup
 			fw.Add(1)
@@ -456,13 +538,22 @@ func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
 		p.BlockReason = "disk"
 		wg.Wait(p)
 		p.BlockReason = ""
+		if att != nil {
+			att.Report(0.9)
+		}
 		outNominal := 0.0
 		for _, pr := range pairs {
 			outNominal += float64(pr.Size()+6) * outScale
 		}
 		if outPath != "" {
+			// Attempt-scoped temp write; the tracker renames the winner's
+			// part file into place.
 			enc := job.EncodeTextOutput(pairs)
-			w := e.FS.CreateScaled(fmt.Sprintf("%s/part-%05d", outPath, taskIdx), node, outScale)
+			name := fmt.Sprintf("%s/part-%05d", outPath, taskIdx)
+			if att != nil {
+				name = att.ScopedPath(name)
+			}
+			w := e.FS.CreateScaled(name, node, outScale)
 			if err := w.Write(p, enc); err != nil {
 				return nil, err
 			}
@@ -470,7 +561,7 @@ func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
 				return nil, err
 			}
 		}
-		return []partData{{pairs: pairs, nominal: outNominal, node: node}}, nil
+		return []partData{{pairs: pairs, nominal: outNominal, node: node, taskIdx: taskIdx}}, nil
 	}
 
 	// Not the last stage: this stage feeds a wide op — write shuffle
@@ -493,7 +584,7 @@ func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
 		p.BlockReason = "disk"
 		wg.Wait(p)
 		p.BlockReason = ""
-		return []partData{{pairs: pairs, nominal: outNominal, node: node}}, nil
+		return []partData{{pairs: pairs, nominal: outNominal, node: node, taskIdx: taskIdx}}, nil
 	}
 	shufScale := scale
 	if next.combine != nil {
@@ -512,7 +603,7 @@ func (e *Engine) runTask(p *sim.Proc, st *stage, node int, blk *dfs.Block,
 			nom += float64(pr.Size()+6) * shufScale
 		}
 		writeNominal += nom
-		out[pi] = partData{pairs: part, nominal: nom, node: node}
+		out[pi] = partData{pairs: part, nominal: nom, node: node, taskIdx: taskIdx}
 	}
 	if writeNominal > 0 {
 		wg.Add(1)

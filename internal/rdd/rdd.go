@@ -142,6 +142,7 @@ type partData struct {
 	pairs   []kv.Pair
 	nominal float64
 	node    int
+	taskIdx int // producing task's index within its stage (shuffle recovery)
 }
 
 // TextFile creates a source RDD over a DFS file of newline-separated

@@ -99,6 +99,26 @@ type TaskSpec struct {
 	// Done). Only restartable tasks get speculative backups or are
 	// preemption victims.
 	Restartable bool
+	// Retryable marks a task the tracker may re-execute after a node
+	// failure even though it must never be speculated or preempted —
+	// re-execution needs engine-side recovery (DataMPI's A ranks replay
+	// the O side into a re-homed rank), so a gratuitous backup or a
+	// preemption kill would be wrong, but losing the node is survivable.
+	// Restartable implies Retryable.
+	Retryable bool
+	// PreRetry, when set, runs in kernel context just before the tracker
+	// respawns this task after a node failure, before the replacement node
+	// is chosen — the engine's chance to make room, e.g. widening a
+	// gang-scheduled slot pool so a re-homed rank can acquire a slot that
+	// the failure removed from service.
+	PreRetry func()
+	// CommitFS, when set, arms the attempt-scoped output committer: the
+	// Body (or Done) writes DFS output through Attempt.ScopedPath, and the
+	// tracker renames the winning attempt's files to their final names
+	// after Done succeeds — and deletes every other attempt's temp files —
+	// so DFS-writing tasks can race speculative backups with exactly-once
+	// committed output.
+	CommitFS CommitFS
 	// Pre runs in an attempt's proc before slot acquisition (e.g. the
 	// reduce slow-start wait) until one attempt passes it. Returning true
 	// skips the task: Final runs, Body/Done/Fail do not. Attempts spawned
@@ -127,6 +147,20 @@ type TaskSpec struct {
 	Final func()
 }
 
+// CommitFS is the filesystem surface the attempt-scoped output committer
+// needs: atomic rename of a temp file to its final name, and deletion of
+// an abandoned temp file. dfs.FS implements it.
+type CommitFS interface {
+	CommitAttempt(temp, final string) error
+	Delete(name string)
+}
+
+// attemptOutput is one file an attempt wrote to its scoped temp path,
+// awaiting commit (winner) or discard (everyone else).
+type attemptOutput struct {
+	temp, final string
+}
+
 // Attempt is one execution of a task on one node. The tracker records its
 // start time and progress to detect stragglers.
 type Attempt struct {
@@ -134,6 +168,7 @@ type Attempt struct {
 	proc     *sim.Proc
 	node     int
 	index    int
+	uid      int64 // tracker-global attempt id, scoping temp output paths
 	backup   bool
 	start    float64
 	end      float64
@@ -142,6 +177,7 @@ type Attempt struct {
 	finished bool
 	killed   bool
 	won      bool
+	outputs  []attemptOutput
 }
 
 // Node returns the node this attempt runs on.
@@ -164,6 +200,16 @@ func (a *Attempt) Report(frac float64) {
 	}
 }
 
+// ScopedPath maps a final output name to this attempt's private temp path
+// and registers the pair for commit: the tracker renames the temp file to
+// final when this attempt wins its task (after Done succeeds) and deletes
+// it on every other outcome. The task's spec must carry a CommitFS.
+func (a *Attempt) ScopedPath(final string) string {
+	temp := fmt.Sprintf("/_tmp/attempt-%d%s", a.uid, final)
+	a.outputs = append(a.outputs, attemptOutput{temp: temp, final: final})
+	return temp
+}
+
 type trackedTask struct {
 	spec       TaskSpec
 	attempts   []*Attempt
@@ -180,6 +226,7 @@ type TrackerStats struct {
 	Kills       int // attempts cancelled (lost races, preemptions, node loss)
 	Preemptions int // attempts killed (and requeued) to feed a starved job
 	Retries     int // attempts requeued on a healthy node after node failure
+	Recomputes  int // settled tasks re-executed to regenerate lost outputs
 }
 
 // TaskTracker owns task attempts for every job admitted to one queue: it
@@ -211,6 +258,7 @@ type TaskTracker struct {
 	slotSec map[*JobHandle]float64
 
 	outstanding int
+	nextUID     int64 // attempt ids, scoping temp output paths
 	timer       *sim.Timer
 	stats       TrackerStats
 }
@@ -259,6 +307,11 @@ func (t *TaskTracker) SetPreemption(c PreemptionConfig) {
 // Stats returns the lifecycle counters accumulated so far.
 func (t *TaskTracker) Stats() TrackerStats { return t.stats }
 
+// NoteRecompute records that an engine re-executed a settled task to
+// regenerate output lost with a failed node (a recomputed map, a replayed
+// O rank, a regenerated shuffle partition).
+func (t *TaskTracker) NoteRecompute() { t.stats.Recomputes++ }
+
 // Launch admits one task and spawns its first attempt on its preferred
 // node. The attempt acquires a slot from the task's pool, runs Body, and
 // on first finish delivers Done/Fail then Final exactly once.
@@ -289,7 +342,8 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		}
 		node = alt
 	}
-	att := &Attempt{task: task, node: node, index: len(task.attempts), backup: backup}
+	att := &Attempt{task: task, node: node, index: len(task.attempts), uid: t.nextUID, backup: backup}
+	t.nextUID++
 	task.attempts = append(task.attempts, att)
 	name := task.spec.Name
 	if att.index > 0 {
@@ -308,8 +362,10 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			}
 			// Cancelled attempt: the body's own defers have run; hand the
 			// slot back (Acquire cleans up after itself if the kill landed
-			// while queued) and let the proc die.
+			// while queued), drop any attempt-scoped temp output, and let
+			// the proc die.
 			att.finished = true
+			t.discardOutputs(task, att)
 			if holding {
 				t.releaseSlot(task, att, node)
 			}
@@ -341,6 +397,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			if err == nil && task.spec.Discard != nil {
 				task.spec.Discard(v)
 			}
+			t.discardOutputs(task, att)
 			t.releaseSlot(task, att, node)
 			holding = false
 			return
@@ -356,9 +413,18 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			if task.spec.Done != nil {
 				err = task.spec.Done(p, v, att)
 			}
+			if err == nil {
+				// Output commit: rename the winner's attempt-scoped temp
+				// files to their final names — the atomic, exactly-once
+				// half of the committer protocol.
+				err = t.commitOutputs(task, att)
+			}
 		}
-		if err != nil && task.spec.Fail != nil {
-			task.spec.Fail(err)
+		if err != nil {
+			t.discardOutputs(task, att)
+			if task.spec.Fail != nil {
+				task.spec.Fail(err)
+			}
 		}
 		t.releaseSlot(task, att, node)
 		holding = false
@@ -366,6 +432,40 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			task.spec.Final()
 		}
 	})
+}
+
+// commitOutputs renames the winning attempt's scoped temp files to their
+// final names — pure namenode metadata, no simulated time. An attempt
+// that wrote scoped output on a task without a CommitFS is a wiring bug.
+func (t *TaskTracker) commitOutputs(task *trackedTask, att *Attempt) error {
+	if len(att.outputs) == 0 {
+		return nil
+	}
+	cf := task.spec.CommitFS
+	if cf == nil {
+		return fmt.Errorf("sched: task %s wrote attempt-scoped output but its spec has no CommitFS", task.spec.Name)
+	}
+	for _, o := range att.outputs {
+		if err := cf.CommitAttempt(o.temp, o.final); err != nil {
+			return err
+		}
+	}
+	att.outputs = nil
+	return nil
+}
+
+// discardOutputs deletes an attempt's scoped temp files (losing, killed
+// and failed attempts), releasing their simulated disk usage.
+func (t *TaskTracker) discardOutputs(task *trackedTask, att *Attempt) {
+	if len(att.outputs) == 0 {
+		return
+	}
+	if cf := task.spec.CommitFS; cf != nil {
+		for _, o := range att.outputs {
+			cf.Delete(o.temp)
+		}
+	}
+	att.outputs = nil
 }
 
 // releaseSlot hands an attempt's slot back, accruing its occupancy to the
@@ -402,11 +502,13 @@ func (t *TaskTracker) failTask(task *trackedTask, err error) {
 // NodeDown marks node failed for scheduling: every in-flight attempt
 // there is killed, and a task left with no live attempt is requeued on a
 // healthy node (the excluded-node bookkeeping mirrors speculation's
-// alternate-node placement) instead of failing the job. A non-restartable
-// attempt whose body had already started cannot be re-executed — its
-// in-flight state died with the node — so its task fails. Later launches
-// and backup attempts route around down nodes. Call from kernel context
-// (a timeline event), never from a proc running on the dying node.
+// alternate-node placement) instead of failing the job. An attempt that
+// is neither Restartable nor Retryable and whose body had already started
+// cannot be re-executed — its in-flight state died with the node — so its
+// task fails; Retryable tasks get their PreRetry hook (room-making, e.g.
+// pool growth) before the replacement node is chosen. Later launches and
+// backup attempts route around down nodes. Call from kernel context (a
+// timeline event), never from a proc running on the dying node.
 func (t *TaskTracker) NodeDown(node int) {
 	if t.down[node] {
 		return
@@ -442,7 +544,7 @@ func (t *TaskTracker) NodeDown(node int) {
 		}
 		lost := false
 		for _, a := range dead {
-			if a.started && !task.spec.Restartable {
+			if a.started && !task.spec.Restartable && !task.spec.Retryable {
 				lost = true
 				break
 			}
@@ -451,6 +553,9 @@ func (t *TaskTracker) NodeDown(node int) {
 			t.failTask(task, fmt.Errorf(
 				"sched: node %d failed with non-restartable task %s in flight", node, task.spec.Name))
 			continue
+		}
+		if task.spec.PreRetry != nil {
+			task.spec.PreRetry()
 		}
 		alt := t.altNode(task)
 		if alt < 0 {

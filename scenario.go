@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/datampi/datampi-go/internal/dfs"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
 )
@@ -237,6 +238,7 @@ type Scenario struct {
 	byName   map[string]*scenarioTenant
 	arrivals []Arrival
 	events   []timedEvent
+	monCfg   *dfs.MonitorConfig
 	err      error
 }
 
@@ -380,6 +382,16 @@ func WithLocalitySlack(slack float64) ScenarioOption {
 	return func(s *Scenario) { s.slack = slack }
 }
 
+// WithReplicationMonitor runs a DFS replication monitor for the duration
+// of the scenario: on every NodeDown event the monitor waits out its
+// detection delay and then re-replicates the dead node's blocks back to
+// the configured factor, its copies contending with foreground jobs for
+// the same disks and links. The zero config takes the documented defaults
+// (see dfs.MonitorConfig); Report.Recovery carries the recovery counters.
+func WithReplicationMonitor(cfg ReplicationMonitorConfig) ScenarioOption {
+	return func(s *Scenario) { s.monCfg = &cfg }
+}
+
 // WithFidelity pins the simulation-kernel fidelity the scenario's timings
 // are captured against. Fidelity is a property of the testbed (set it in
 // TestbedConfig.Fidelity — resources snapshot it at construction), so the
@@ -417,6 +429,17 @@ type TenantReport struct {
 	SlotShare   float64 // fraction of all slot-seconds consumed in the scenario
 }
 
+// RecoveryStats aggregates the fault-recovery work a scenario performed:
+// the DFS replication monitor's copies and losses (zero unless
+// WithReplicationMonitor was set) and the engines' task recomputation.
+type RecoveryStats struct {
+	BlocksRereplicated int     // replicas the monitor created
+	BytesRereplicated  float64 // nominal bytes it copied
+	BlocksLost         int     // blocks that lost every replica
+	BytesLost          float64 // nominal bytes of those blocks
+	TasksRecomputed    int     // settled tasks re-executed for lost outputs
+}
+
 // Report is a completed scenario's structured outcome.
 type Report struct {
 	// Jobs lists every admitted job in admission order (arrival time,
@@ -434,6 +457,9 @@ type Report struct {
 	// Tracker carries the task-lifecycle counters (backups, kills,
 	// preemptions, node-failure retries).
 	Tracker TrackerStats
+	// Recovery carries the fault-recovery counters (DFS re-replication,
+	// data loss, task recomputation).
+	Recovery RecoveryStats
 	// Start and End bracket the jobs: earliest arrival and latest
 	// completion, scenario-relative.
 	Start, End float64
@@ -480,6 +506,11 @@ func (r *Report) Render() string {
 	st := r.Tracker
 	fmt.Fprintf(&b, "tracker: %d tasks, %d backups (%d wins), %d kills, %d preemptions, %d retries\n",
 		st.Tasks, st.Backups, st.BackupWins, st.Kills, st.Preemptions, st.Retries)
+	if rc := r.Recovery; rc != (RecoveryStats{}) {
+		fmt.Fprintf(&b, "recovery: %d blocks re-replicated (%.0f MB), %d blocks lost (%.0f MB), %d tasks recomputed\n",
+			rc.BlocksRereplicated, rc.BytesRereplicated/(1<<20),
+			rc.BlocksLost, rc.BytesLost/(1<<20), rc.TasksRecomputed)
+	}
 	return b.String()
 }
 
@@ -530,6 +561,12 @@ func (s *Scenario) Run() (*Report, error) {
 
 	eng := s.tb.Cluster.Eng
 	runStart := eng.Now()
+	var mon *dfs.ReplicationMonitor
+	if s.monCfg != nil {
+		// Attached before any event can fire; detached after the run so
+		// repeated scenarios on one testbed do not stack monitors.
+		mon = dfs.NewReplicationMonitor(s.tb.FS, *s.monCfg)
+	}
 	q := s.tb.NewQueue(s.policy) // carries the testbed's dead-node exclusions
 	q.SetSpeculation(s.spec)
 	q.SetPreemption(s.pre)
@@ -581,6 +618,15 @@ func (s *Scenario) Run() (*Report, error) {
 	makespan := eng.Now() - runStart
 
 	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes}
+	rep.Recovery.TasksRecomputed = rep.Tracker.Recomputes
+	if mon != nil {
+		mon.Stop()
+		ms := mon.Stats()
+		rep.Recovery.BlocksRereplicated = ms.BlocksRereplicated
+		rep.Recovery.BytesRereplicated = ms.BytesRereplicated
+		rep.Recovery.BlocksLost = ms.BlocksLost
+		rep.Recovery.BytesLost = ms.BytesLost
+	}
 	for _, te := range q.Timeline() {
 		rep.Timeline = append(rep.Timeline, TimelineEntry{T: te.T - runStart, Name: te.Name})
 	}
