@@ -1,0 +1,53 @@
+// Hard allocation-regression guard for the pooled kernel: the
+// kernelscale scenario's allocations per run are deterministic (free
+// lists, prebound callbacks, scripted work), so a drift beyond the
+// baseline recorded in BENCH_kernel.json means a pooled path regressed
+// to per-event allocation. CI runs this as a failing gate, not an
+// informational benchmark.
+package datampi_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/harness"
+)
+
+// kernelScaleAllocBaseline mirrors the "kernelscale" entry of
+// BENCH_kernel.json.
+type kernelScaleAllocBaseline struct {
+	KernelScale struct {
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"kernelscale"`
+}
+
+func TestKernelScaleAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard runs the kernelscale benchmark; skipped in -short")
+	}
+	raw, err := os.ReadFile("BENCH_kernel.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base kernelScaleAllocBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing BENCH_kernel.json: %v", err)
+	}
+	if base.KernelScale.AllocsPerOp <= 0 {
+		t.Fatal("BENCH_kernel.json has no kernelscale allocs_per_op baseline")
+	}
+
+	res, err := harness.KernelScale(kernelScaleBenchNodes, kernelScaleBenchTasks, kernelScaleBenchSlots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.AllocObjs)
+	limit := base.KernelScale.AllocsPerOp * 1.10
+	t.Logf("kernelscale: %.0f allocs (baseline %.0f, limit %.0f), %.2f KB/task",
+		got, base.KernelScale.AllocsPerOp, limit, res.BytesPerTask()/1024)
+	if got > limit {
+		t.Fatalf("allocation regression: kernelscale made %.0f heap allocations, more than 10%% over the %.0f baseline — a pooled kernel path is allocating per event again",
+			got, base.KernelScale.AllocsPerOp)
+	}
+}

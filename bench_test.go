@@ -86,3 +86,29 @@ func runKernelChurn(b *testing.B, f sim.Fidelity) {
 
 func BenchmarkKernelChurnFast(b *testing.B)      { runKernelChurn(b, sim.FidelityFast) }
 func BenchmarkKernelChurnReference(b *testing.B) { runKernelChurn(b, sim.FidelityReference) }
+
+// KernelScaleBenchNodes/Tasks is the CI-sized kernelscale configuration:
+// the upper point of the experiment's quick sweep. The alloc-regression
+// guard in alloc_guard_test.go measures the same configuration, so the
+// recorded bytes/allocs in BENCH_kernel.json are directly comparable.
+const (
+	kernelScaleBenchNodes = 2000
+	kernelScaleBenchTasks = 20000
+	kernelScaleBenchSlots = 2
+)
+
+// BenchmarkKernelScale benchmarks the event-driven pooled kernel at
+// 2k nodes / 20k tasks (the 10k-node / 100k-task run is the experiment's
+// full sweep: `datampi-bench run kernelscale`). With -benchmem, B/op and
+// allocs/op are the pooling regression signal — bytes per task must stay
+// flat as scale grows.
+func BenchmarkKernelScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.KernelScale(kernelScaleBenchNodes, kernelScaleBenchTasks, kernelScaleBenchSlots, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BytesPerTask(), "bytes/task")
+		b.ReportMetric(res.SimTime, "simsec")
+	}
+}

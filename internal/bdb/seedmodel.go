@@ -30,6 +30,8 @@ type SeedModel struct {
 	SigStart  int     // first signature word index (category models)
 	SigLen    int     // number of signature words
 	SigWeight float64 // probability of drawing from the signature band
+
+	words []string // lazily interned vocabulary (see Word)
 }
 
 // LDAWiki1W is the lda_wiki1w seed model trained from wikipedia entries,
@@ -70,10 +72,23 @@ var baseWords = []string{
 	"where", "much", "your", "way", "well", "down", "should", "because", "each", "just",
 }
 
-// Word returns vocabulary entry i.
+// Word returns vocabulary entry i. The synthetic tail is interned on
+// first use: text generation draws millions of Zipf samples from a
+// ~10k-word vocabulary, so formatting each draw dominated generator
+// allocations. Interning is deterministic — the strings are exactly the
+// ones Sprintf produced.
 func (m *SeedModel) Word(i int) string {
 	if i < len(baseWords) {
 		return baseWords[i]
+	}
+	if m.words == nil {
+		m.words = make([]string, m.Vocab)
+	}
+	if i < len(m.words) {
+		if m.words[i] == "" {
+			m.words[i] = fmt.Sprintf("%s%04d", syllable(i), i)
+		}
+		return m.words[i]
 	}
 	return fmt.Sprintf("%s%04d", syllable(i), i)
 }

@@ -37,14 +37,38 @@ func WordCountSpec(fsys *dfs.FS, in *dfs.File, out string, reducers int) job.Spe
 		Name: "WordCount", FS: fsys, Input: in, InputFormat: job.Text,
 		Output: out, Reducers: reducers,
 		Map: func(key, value []byte, emit job.Emit) {
-			for _, w := range bytes.Fields(value) {
-				emit(w, one)
+			// Manual tokenizer over the same separator set as
+			// bytes.Fields on ASCII text (all generated input is ASCII):
+			// avoids allocating a [][]byte per line.
+			i := 0
+			for i < len(value) {
+				for i < len(value) && asciiSpace(value[i]) {
+					i++
+				}
+				j := i
+				for j < len(value) && !asciiSpace(value[j]) {
+					j++
+				}
+				if j > i {
+					emit(value[i:j], one)
+				}
+				i = j
 			}
 		},
 		Combine:      kv.SumCombiner,
 		Reduce:       SumReduce,
 		MapCPUFactor: WordCountCPUFactor,
 	}
+}
+
+// asciiSpace matches the ASCII subset of unicode.IsSpace, the separator
+// set bytes.Fields uses for ASCII input.
+func asciiSpace(b byte) bool {
+	switch b {
+	case '\t', '\n', '\v', '\f', '\r', ' ':
+		return true
+	}
+	return false
 }
 
 var one = []byte("1")

@@ -686,7 +686,7 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 	wg.Wait(p)
 	p.BlockReason = ""
 
-	reduced := kv.GroupReduce(all, spec.Reduce)
+	reduced := spec.GroupReduce(all)
 	res.OutRecords += int64(len(reduced))
 	if spec.Output != "" {
 		enc := job.EncodeTextOutput(reduced)

@@ -89,6 +89,11 @@ type Spec struct {
 	// to "a combiner is present", which holds for every BigDataBench
 	// workload in this suite.
 	SaturatingIntermediate bool
+
+	// identityReduce records that Reduce was defaulted by Normalize, so
+	// engines can skip the per-key grouping entirely: identity reduction
+	// of a key-sorted slice is the slice itself.
+	identityReduce bool
 }
 
 // Normalize fills defaults in place.
@@ -107,6 +112,7 @@ func (s *Spec) Normalize() {
 	}
 	if s.Reduce == nil {
 		s.Reduce = IdentityReduce
+		s.identityReduce = true
 	}
 	if s.Combine != nil {
 		s.SaturatingIntermediate = true
@@ -141,6 +147,22 @@ func IdentityReduce(key []byte, values [][]byte) []kv.Pair {
 		out = append(out, kv.Pair{Key: key, Value: v})
 	}
 	return out
+}
+
+// HasIdentityReduce reports whether the (normalized) spec's reducer is
+// the defaulted identity.
+func (s *Spec) HasIdentityReduce() bool { return s.identityReduce }
+
+// GroupReduce applies the spec's reducer to a key-sorted slice. For the
+// defaulted identity reducer it returns sorted unchanged — identity
+// reduction re-emits every (key, value) in grouping order, which for a
+// key-sorted input is exactly the input — saving one Pair allocation
+// per unique key on sort-shaped workloads.
+func (s *Spec) GroupReduce(sorted []kv.Pair) []kv.Pair {
+	if s.identityReduce {
+		return sorted
+	}
+	return kv.GroupReduce(sorted, s.Reduce)
 }
 
 // Result reports a finished job.

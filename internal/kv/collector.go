@@ -15,6 +15,8 @@ type PartitionCollector struct {
 	buffered int
 	spills   int
 	spillB   int // total bytes spilled
+
+	arena *Arena // record bytes batched into blocks (nil = clone per record)
 }
 
 // NewPartitionCollector creates a collector for nParts partitions.
@@ -29,17 +31,18 @@ func NewPartitionCollector(nParts, bufferBytes int, combine Combiner, part Parti
 		part:        part,
 		current:     make([][]Pair, nParts),
 		runs:        make([][][]Pair, nParts),
+		arena:       NewArena(),
 	}
 }
 
 // Emit adds one record (copying key and value, since map functions may
-// reuse buffers).
+// reuse buffers). Copies land in the collector's arena blocks.
 func (c *PartitionCollector) Emit(key, value []byte) {
 	pi := 0
 	if c.parts > 1 {
 		pi = c.part.Partition(key, c.parts)
 	}
-	p := Pair{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)}
+	p := c.arena.CopyPair(key, value)
 	c.current[pi] = append(c.current[pi], p)
 	c.buffered += p.Size()
 	if c.bufferBytes > 0 && c.buffered >= c.bufferBytes {
@@ -61,7 +64,14 @@ func (c *PartitionCollector) spill() {
 			c.spillB += p.Size()
 		}
 		c.runs[pi] = append(c.runs[pi], run)
-		c.current[pi] = nil
+		if c.combine != nil {
+			// The combined run is a fresh slice, so the buffer's backing
+			// array can be reused for the next fill.
+			c.current[pi] = c.current[pi][:0]
+		} else {
+			// CombineSorted returned the buffer itself; the run aliases it.
+			c.current[pi] = nil
+		}
 	}
 	c.buffered = 0
 	c.spills++

@@ -12,7 +12,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -126,11 +125,16 @@ type Partitioner interface {
 // HashPartitioner is Hadoop's default: hash(key) mod n, using FNV-1a.
 type HashPartitioner struct{}
 
-// Partition implements Partitioner.
+// Partition implements Partitioner. The FNV-1a round is inlined (same
+// constants, same result as hash/fnv) to avoid the hasher allocation on
+// the per-record emit path.
 func (HashPartitioner) Partition(key []byte, n int) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32() % uint32(n))
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // RangePartitioner splits the key space at precomputed boundaries,
@@ -177,20 +181,23 @@ func SampleBoundaries(sample [][]byte, n int) [][]byte {
 	return bounds
 }
 
-// Reducer folds all values of one key into output pairs.
+// Reducer folds all values of one key into output pairs. The values
+// slice is reused between keys: a reducer must not retain it after
+// returning.
 type Reducer func(key []byte, values [][]byte) []Pair
 
 // GroupReduce walks sorted pairs, grouping equal keys and applying reduce.
 // It returns the concatenated outputs in key order.
 func GroupReduce(sorted []Pair, reduce Reducer) []Pair {
 	var out []Pair
+	var vals [][]byte // scratch, reused across groups
 	i := 0
 	for i < len(sorted) {
 		j := i + 1
 		for j < len(sorted) && bytes.Equal(sorted[j].Key, sorted[i].Key) {
 			j++
 		}
-		vals := make([][]byte, 0, j-i)
+		vals = vals[:0]
 		for k := i; k < j; k++ {
 			vals = append(vals, sorted[k].Value)
 		}

@@ -2,21 +2,26 @@ package kv
 
 import (
 	"bytes"
-	"container/heap"
 )
 
 // Combiner merges the values of one key into a smaller set of values,
 // used for map-side aggregation (Hadoop's combiner, Spark's map-side
-// combine, DataMPI's local aggregation).
+// combine, DataMPI's local aggregation). The values slice (and the
+// slices it holds) is reused between keys: a combiner may rewrite it in
+// place but must not retain it after returning.
 type Combiner func(key []byte, values [][]byte) [][]byte
 
-// SumCombiner adds decimal-encoded integer values — the WordCount combiner.
+// SumCombiner adds decimal-encoded integer values — the WordCount
+// combiner. It rewrites the first value slot in place (records carry
+// capacity-bounded byte slices, so the append cannot touch a
+// neighbouring record) instead of allocating a fresh container per key.
 func SumCombiner(key []byte, values [][]byte) [][]byte {
 	total := int64(0)
 	for _, v := range values {
 		total += parseInt(v)
 	}
-	return [][]byte{FormatInt(total)}
+	values[0] = AppendInt(values[0][:0], total)
+	return values[:1]
 }
 
 func parseInt(b []byte) int64 {
@@ -43,9 +48,12 @@ func parseInt(b []byte) int64 {
 func ParseInt(b []byte) int64 { return parseInt(b) }
 
 // FormatInt encodes an integer as decimal bytes.
-func FormatInt(n int64) []byte {
+func FormatInt(n int64) []byte { return AppendInt(nil, n) }
+
+// AppendInt appends the decimal encoding of n to dst.
+func AppendInt(dst []byte, n int64) []byte {
 	if n == 0 {
-		return []byte{'0'}
+		return append(dst, '0')
 	}
 	neg := n < 0
 	if neg {
@@ -62,7 +70,7 @@ func FormatInt(n int64) []byte {
 		i--
 		buf[i] = '-'
 	}
-	return append([]byte(nil), buf[i:]...)
+	return append(dst, buf[i:]...)
 }
 
 // CombineSorted applies a combiner to a key-sorted run in place,
@@ -72,13 +80,14 @@ func CombineSorted(sorted []Pair, combine Combiner) []Pair {
 		return sorted
 	}
 	var out []Pair
+	var vals [][]byte // scratch, reused across groups
 	i := 0
 	for i < len(sorted) {
 		j := i + 1
 		for j < len(sorted) && bytes.Equal(sorted[j].Key, sorted[i].Key) {
 			j++
 		}
-		vals := make([][]byte, 0, j-i)
+		vals = vals[:0]
 		for k := i; k < j; k++ {
 			vals = append(vals, sorted[k].Value)
 		}
@@ -182,43 +191,64 @@ func (s *Sorter) Finish() (out []Pair, mergeBytes int) {
 	return merged, mergeBytes
 }
 
-// mergeItem is a heap entry for the k-way merge.
-type mergeItem struct {
-	pair Pair
-	run  int
-	idx  int
+// mergeCursor tracks one run's position in the k-way merge heap.
+type mergeCursor struct {
+	run int
+	idx int
 }
 
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if c := Compare(h[i].pair, h[j].pair); c != 0 {
-		return c < 0
-	}
-	return h[i].run < h[j].run
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-
-// MergeRuns performs a k-way merge of sorted runs into one sorted slice.
+// MergeRuns performs a k-way merge of sorted runs into one sorted
+// slice. One cursor per run sits in a hand-rolled binary heap — no
+// container/heap interface boxing, so the merge allocates the cursor
+// slice and the output and nothing else. The heap order is
+// (pair, run index), the same total order the merge has always used, so
+// the output is byte-identical.
 func MergeRuns(runs [][]Pair) []Pair {
 	total := 0
-	h := make(mergeHeap, 0, len(runs))
+	h := make([]mergeCursor, 0, len(runs))
 	for ri, r := range runs {
 		total += len(r)
 		if len(r) > 0 {
-			h = append(h, mergeItem{pair: r[0], run: ri, idx: 0})
+			h = append(h, mergeCursor{run: ri})
 		}
 	}
-	heap.Init(&h)
+	less := func(a, b mergeCursor) bool {
+		if c := Compare(runs[a.run][a.idx], runs[b.run][b.idx]); c != 0 {
+			return c < 0
+		}
+		return a.run < b.run
+	}
+	siftDown := func(i int) {
+		for {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < len(h) && less(h[l], h[s]) {
+				s = l
+			}
+			if r < len(h) && less(h[r], h[s]) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
 	out := make([]Pair, 0, total)
-	for h.Len() > 0 {
-		it := heap.Pop(&h).(mergeItem)
-		out = append(out, it.pair)
-		if next := it.idx + 1; next < len(runs[it.run]) {
-			heap.Push(&h, mergeItem{pair: runs[it.run][next], run: it.run, idx: next})
+	for len(h) > 0 {
+		top := h[0]
+		out = append(out, runs[top.run][top.idx])
+		if top.idx+1 < len(runs[top.run]) {
+			h[0].idx++
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(0)
 		}
 	}
 	return out

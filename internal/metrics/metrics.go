@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"github.com/datampi/datampi-go/internal/cluster"
+	"github.com/datampi/datampi-go/internal/sim"
 )
 
 // Dist summarizes a sample (e.g. per-job response times in seconds):
@@ -88,6 +89,15 @@ type Profiler struct {
 	series   Series
 	stop     bool
 	started  bool
+	timer    *sim.Timer // the single sampling timer, re-armed every tick
+
+	// maxSamples > 0 bounds the series to the most recent maxSamples
+	// ticks, kept in a ring (head is the oldest slot once saturated).
+	// The default (0) retains everything, which is what the figure
+	// pipelines need; long-running scale harnesses cap it so profiling
+	// stays constant-space.
+	maxSamples int
+	head       int
 
 	// Per-node cumulative disk byte counters maintained by the engines via
 	// AddDiskRead/AddDiskWrite (the PS disk resource cannot distinguish
@@ -137,16 +147,20 @@ func (pr *Profiler) Start() {
 		pr.lastRx[i] = pr.c.Net.RxIntegral(i)
 	}
 	start := pr.c.Eng.Now()
-	var tick func()
-	tick = func() {
+	// One closure and one timer for the whole run: the timer is re-armed
+	// in place each tick instead of scheduling a fresh event per sample.
+	pr.timer = pr.c.Eng.Schedule(pr.interval, func() {
 		if pr.stop {
 			return
 		}
 		pr.sample(pr.c.Eng.Now() - start)
-		pr.c.Eng.Schedule(pr.interval, tick)
-	}
-	pr.c.Eng.Schedule(pr.interval, tick)
+		pr.timer.Reset(pr.interval)
+	})
 }
+
+// SetMaxSamples bounds the series to the most recent n samples (0 =
+// unbounded). Must be called before Start.
+func (pr *Profiler) SetMaxSamples(n int) { pr.maxSamples = n }
 
 // Stop ends sampling.
 func (pr *Profiler) Stop() { pr.stop = true }
@@ -197,11 +211,29 @@ func (pr *Profiler) sample(t float64) {
 	s.DiskWrit /= n
 	s.NetMBps /= n
 	s.MemBytes /= n
+	if pr.maxSamples > 0 && len(pr.series.Samples) == pr.maxSamples {
+		pr.series.Samples[pr.head] = s
+		pr.head++
+		if pr.head == pr.maxSamples {
+			pr.head = 0
+		}
+		return
+	}
 	pr.series.Samples = append(pr.series.Samples, s)
 }
 
-// Series returns the collected samples.
-func (pr *Profiler) Series() Series { return pr.series }
+// Series returns the collected samples in chronological order. When a
+// bounded profiler's ring has wrapped, the samples are rotated into
+// order first.
+func (pr *Profiler) Series() Series {
+	if pr.head == 0 {
+		return pr.series
+	}
+	ordered := make([]Sample, 0, len(pr.series.Samples))
+	ordered = append(ordered, pr.series.Samples[pr.head:]...)
+	ordered = append(ordered, pr.series.Samples[:pr.head]...)
+	return Series{Interval: pr.series.Interval, Samples: ordered}
+}
 
 // Window aggregates samples with T in [0, until] into averages, mirroring
 // the paper's "average over 0-117 seconds" style of reporting.

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Sketch is a constant-space streaming percentile summary behind the
+// Dist surface, so reports over long traces no longer retain a float64
+// per job/task.
+//
+// Small streams (up to sketchExactMax values) are buffered exactly and
+// summarized with NewDist, so every report a few-dozen-job scenario
+// produces is bit-identical to the historical slice-based aggregation.
+// Past that, the buffer is folded into logarithmic bins (a DDSketch-style
+// fixed-gamma layout): a positive value v lands in bin
+// ceil(log_gamma(v)), whose representative midpoint 2·gamma^i/(gamma+1)
+// is within (gamma-1)/(gamma+1) relative error of every value in the
+// bin. With gamma = 1.02 that guarantees percentile estimates within
+// ~1% relative error for positive values, using at most a few hundred
+// bins regardless of stream length. Count, mean, min and max stay exact.
+// Zero and negative values are counted in a dedicated underflow bin
+// represented as 0 (the accuracy guarantee applies to positive values —
+// durations and latencies, which is what reports aggregate).
+type Sketch struct {
+	n      int
+	sum    float64
+	min    float64
+	max    float64
+	exact  []float64   // small-stream buffer; nil once promoted to bins
+	bins   map[int]int // log-gamma histogram (promoted streams)
+	sorted bool        // exact buffer is sorted (cached between queries)
+}
+
+// sketchExactMax is the exact-buffer size: streams at or below it
+// summarize identically to NewDist.
+const sketchExactMax = 256
+
+// sketchGamma is the bin base: relative error (gamma-1)/(gamma+1) ≈ 1%.
+const sketchGamma = 1.02
+
+var sketchLogGamma = math.Log(sketchGamma)
+
+// Add folds one value into the sketch.
+func (s *Sketch) Add(x float64) {
+	s.n++
+	s.sum += x
+	if s.n == 1 || x < s.min {
+		s.min = x
+	}
+	if s.n == 1 || x > s.max {
+		s.max = x
+	}
+	if s.bins == nil {
+		s.exact = append(s.exact, x)
+		s.sorted = false
+		if len(s.exact) <= sketchExactMax {
+			return
+		}
+		// Promote: fold the buffer into bins and drop it.
+		s.bins = make(map[int]int)
+		for _, v := range s.exact {
+			s.bins[sketchBin(v)]++
+		}
+		s.exact = nil
+		return
+	}
+	s.bins[sketchBin(x)]++
+}
+
+// sketchBin maps a value to its bin index; values <= 0 share the
+// underflow bin math.MinInt32.
+func sketchBin(v float64) int {
+	if v <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Ceil(math.Log(v) / sketchLogGamma))
+}
+
+// sketchValue is the representative value of a bin: the midpoint of
+// (gamma^(i-1), gamma^i] in relative terms.
+func sketchValue(bin int) float64 {
+	if bin == math.MinInt32 {
+		return 0
+	}
+	return 2 * math.Pow(sketchGamma, float64(bin)) / (sketchGamma + 1)
+}
+
+// N returns how many values were added.
+func (s *Sketch) N() int { return s.n }
+
+// Dist summarizes the stream. Exact for streams up to sketchExactMax
+// values; sketched percentiles (≈1% relative error, exact
+// count/mean/min/max) beyond.
+func (s *Sketch) Dist() Dist {
+	if s.n == 0 {
+		return Dist{}
+	}
+	if s.bins == nil {
+		if !s.sorted {
+			sort.Float64s(s.exact)
+			s.sorted = true
+		}
+		d := Dist{N: s.n, Min: s.exact[0], Max: s.exact[len(s.exact)-1]}
+		// Sum over the sorted buffer, exactly as NewDist does, so the
+		// mean matches it bit-for-bit (summation order changes the
+		// last ulp).
+		sum := 0.0
+		for _, x := range s.exact {
+			sum += x
+		}
+		d.Mean = sum / float64(s.n)
+		d.P50 = s.exact[nearestRank(0.50, s.n)]
+		d.P95 = s.exact[nearestRank(0.95, s.n)]
+		return d
+	}
+	d := Dist{N: s.n, Min: s.min, Max: s.max, Mean: s.sum / float64(s.n)}
+	d.P50 = s.quantile(0.50)
+	d.P95 = s.quantile(0.95)
+	return d
+}
+
+// quantile returns the nearest-rank percentile estimate from the bins,
+// clamped into [min, max] (the true extremes are tracked exactly).
+func (s *Sketch) quantile(p float64) float64 {
+	rank := nearestRank(p, s.n)
+	keys := make([]int, 0, len(s.bins))
+	for k := range s.bins {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	seen := 0
+	for _, k := range keys {
+		seen += s.bins[k]
+		if seen > rank {
+			v := sketchValue(k)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}

@@ -132,7 +132,7 @@ func (w *World) IsendFrom(srcNode, from, to, tag int, nominalBytes float64, payl
 	dstNode := w.nodeOf[to]
 	w.c.Net.StartFlow(srcNode, dstNode, nominalBytes, func() {
 		if w.LatencySecs > 0 {
-			w.c.Eng.Schedule(w.LatencySecs, deliver)
+			w.c.Eng.Post(w.LatencySecs, deliver)
 		} else {
 			deliver()
 		}

@@ -659,7 +659,7 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 	p.BlockReason = ""
 
 	handoff = true
-	return &reduceOut{reduced: kv.GroupReduce(merged, spec.Reduce), release: release}, nil
+	return &reduceOut{reduced: spec.GroupReduce(merged), release: release}, nil
 }
 
 // AttachProfiler wires a resource profiler into the engine.

@@ -24,13 +24,20 @@ func (e *Engine) lineage(spec *job.Spec) *RDD {
 	if spec.Reducers <= 0 {
 		return mapped // map-only pipeline
 	}
+	// A defaulted identity reducer becomes a nil wide-op reducer: the
+	// executor passes the key-sorted partition straight through instead
+	// of re-emitting one Pair per record through IdentityReduce.
+	reduce := spec.Reduce
+	if spec.HasIdentityReduce() {
+		reduce = nil
+	}
 	if _, isRange := spec.Part.(*kv.RangePartitioner); isRange {
-		return mapped.SortByKey(spec.Part, spec.Reduce, spec.Reducers)
+		return mapped.SortByKey(spec.Part, reduce, spec.Reducers)
 	}
 	if spec.Combine != nil {
-		return mapped.ReduceByKey(spec.Combine, spec.Reduce, spec.Reducers)
+		return mapped.ReduceByKey(spec.Combine, reduce, spec.Reducers)
 	}
-	return mapped.GroupByKey(spec.Reduce, spec.Reducers)
+	return mapped.GroupByKey(reduce, spec.Reducers)
 }
 
 // Run implements job.Engine: it executes the spec's lineage exclusively,

@@ -166,10 +166,15 @@ func (r *RDD) FlatMapKV(f job.MapFunc, cpuFactor float64) *RDD {
 	return &RDD{eng: r.eng, narrow: &narrowOp{
 		parent: r,
 		f: func(in []kv.Pair, out func(kv.Pair)) {
+			// One emit closure and one arena per partition invocation:
+			// record copies land in shared blocks instead of two fresh
+			// slices per record. The arena is never released — emitted
+			// records flow into shuffle/cache/collect results that may
+			// outlive this stage.
+			ar := kv.NewArena()
+			emit := func(k, v []byte) { out(ar.CopyPair(k, v)) }
 			for _, p := range in {
-				f(p.Key, p.Value, func(k, v []byte) {
-					out(kv.Pair{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
-				})
+				f(p.Key, p.Value, emit)
 			}
 		},
 		cpuFactor: cpuFactor,

@@ -177,6 +177,7 @@ type Attempt struct {
 	finished bool
 	killed   bool
 	won      bool
+	done     bool // proc has fully unwound; no code path touches this attempt again
 	outputs  []attemptOutput
 }
 
@@ -261,6 +262,12 @@ type TaskTracker struct {
 	nextUID     int64 // attempt ids, scoping temp output paths
 	timer       *sim.Timer
 	stats       TrackerStats
+
+	// apool is the attempt free list. Attempts are recycled only at tick
+	// compaction, and only from settled tasks whose every attempt has
+	// fully unwound (done) — a deterministic lifecycle boundary, so
+	// pooling cannot perturb the simulation.
+	apool []*Attempt
 }
 
 // groupKey scopes straggler statistics to one job's task kind.
@@ -342,7 +349,17 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		}
 		node = alt
 	}
-	att := &Attempt{task: task, node: node, index: len(task.attempts), uid: t.nextUID, backup: backup}
+	var att *Attempt
+	if n := len(t.apool); n > 0 {
+		att = t.apool[n-1]
+		t.apool[n-1] = nil
+		t.apool = t.apool[:n-1]
+		outputs := att.outputs[:0] // keep the capacity across reuse
+		*att = Attempt{outputs: outputs}
+	} else {
+		att = &Attempt{}
+	}
+	att.task, att.node, att.index, att.uid, att.backup = task, node, len(task.attempts), t.nextUID, backup
 	t.nextUID++
 	task.attempts = append(task.attempts, att)
 	name := task.spec.Name
@@ -369,6 +386,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			if holding {
 				t.releaseSlot(task, att, node)
 			}
+			att.done = true
 		}()
 		if task.spec.Pre != nil && !task.gatePassed {
 			if task.spec.Pre(p) {
@@ -379,6 +397,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 				if task.spec.Final != nil {
 					task.spec.Final()
 				}
+				att.done = true
 				return
 			}
 			task.gatePassed = true
@@ -400,6 +419,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			t.discardOutputs(task, att)
 			t.releaseSlot(task, att, node)
 			holding = false
+			att.done = true
 			return
 		}
 		t.settle(task)
@@ -431,6 +451,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		if task.spec.Final != nil {
 			task.spec.Final()
 		}
+		att.done = true
 	})
 }
 
@@ -667,12 +688,16 @@ func (t *TaskTracker) tick() {
 	}
 	// Compact settled tasks out of the scan set (launch order preserved):
 	// the monitors only care about live attempts, and completed-task
-	// statistics already live in t.groups.
+	// statistics already live in t.groups. Attempts of a settled task
+	// whose procs have all fully unwound can never be referenced again —
+	// the deterministic boundary at which they return to the free list.
 	live := t.tasks[:0]
 	for _, task := range t.tasks {
 		if !task.settled {
 			live = append(live, task)
+			continue
 		}
+		t.recycleAttempts(task)
 	}
 	t.tasks = live
 	if t.spec.Enabled {
@@ -682,6 +707,24 @@ func (t *TaskTracker) tick() {
 		t.preempt()
 	}
 	t.arm()
+}
+
+// recycleAttempts returns a settled task's attempts to the free list,
+// provided every one of them has fully unwound (a late photo-finisher or
+// a still-unwinding kill keeps the whole set alive — it will simply be
+// collected by the GC instead).
+func (t *TaskTracker) recycleAttempts(task *trackedTask) {
+	for _, a := range task.attempts {
+		if !a.done {
+			return
+		}
+	}
+	for i, a := range task.attempts {
+		a.task, a.proc = nil, nil
+		t.apool = append(t.apool, a)
+		task.attempts[i] = nil
+	}
+	task.attempts = nil
 }
 
 // speculate scans running attempts for stragglers and launches backup

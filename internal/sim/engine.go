@@ -29,11 +29,18 @@ type Timer struct {
 	fn       func()
 	canceled bool
 	eng      *Engine
-	index    int // heap index, -1 when popped
+	index    int  // heap index, -1 when popped
+	recycle  bool // fire-and-forget Post timer, pooled after firing
 }
 
 // At returns the simulated time at which the timer fires.
 func (t *Timer) At() float64 { return t.at }
+
+// Reset re-schedules the timer to fire delay seconds from now,
+// superseding any pending deadline — the reuse idiom for periodic
+// timers (metrics sampling, fabric completion programming) that would
+// otherwise allocate a Timer per tick.
+func (t *Timer) Reset(delay float64) { t.eng.rearm(t, delay) }
 
 // Cancel prevents the timer from firing. A pending timer is removed from
 // the event heap immediately (O(log n) via its stored heap index), so
@@ -92,6 +99,12 @@ type Engine struct {
 	// Park/resume so the metrics profiler's wait-I/O attribution is O(1)
 	// per node instead of a full proc scan per sample.
 	blocked map[string]map[int]int
+
+	// tfree is the free list behind Post: fire-and-forget timers are
+	// returned here by the run loop after firing. Timers handed out by
+	// Schedule are never pooled — callers may Cancel them after they
+	// fire, which on a recycled object would cancel an innocent event.
+	tfree []*Timer
 }
 
 // NewEngine returns a fresh simulation engine with the clock at zero.
@@ -119,6 +132,26 @@ func (e *Engine) tracef(format string, args ...any) {
 // A negative delay is treated as zero. The returned Timer may be canceled.
 func (e *Engine) Schedule(delay float64, fn func()) *Timer {
 	return e.rearm(&Timer{eng: e, fn: fn, index: -1}, delay)
+}
+
+// Post arranges for fn to run at now+delay like Schedule, but returns no
+// handle: the event cannot be canceled, so its timer object is recycled
+// through a free list after firing. Hot fire-and-forget dispatch sites
+// (flow-completion callbacks, message delivery) use Post to keep the
+// kernel's steady-state timer allocation rate at zero. Ordering is
+// identical to Schedule — the timer gets the same (time, seq) key it
+// would get there.
+func (e *Engine) Post(delay float64, fn func()) {
+	var t *Timer
+	if n := len(e.tfree); n > 0 {
+		t = e.tfree[n-1]
+		e.tfree[n-1] = nil
+		e.tfree = e.tfree[:n-1]
+		t.fn = fn
+	} else {
+		t = &Timer{eng: e, fn: fn, index: -1, recycle: true}
+	}
+	e.rearm(t, delay)
 }
 
 // rearm (re)schedules a timer object, reusing its allocation; a timer
@@ -162,7 +195,12 @@ func (e *Engine) Run() error {
 			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, t.at)
 		}
 		e.now = t.at
-		t.fn()
+		fn := t.fn
+		if t.recycle {
+			t.fn = nil
+			e.tfree = append(e.tfree, t)
+		}
+		fn()
 	}
 	if e.nlive > 0 {
 		names := make([]string, 0, e.nlive)
@@ -191,7 +229,12 @@ func (e *Engine) RunUntil(deadline float64) (int, error) {
 			return n, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, t.at)
 		}
 		e.now = t.at
-		t.fn()
+		fn := t.fn
+		if t.recycle {
+			t.fn = nil
+			e.tfree = append(e.tfree, t)
+		}
+		fn()
 		n++
 	}
 	if e.now < deadline {

@@ -49,6 +49,14 @@ type Fabric struct {
 	stack  []int
 	fbatch []*Flow
 	dirty  []int
+
+	// fpool is the fast path's flow free list: completed flows return
+	// here after their callback is dispatched. No caller retains flow
+	// handles past completion (StartFlow's return value is only a
+	// handle for the in-flight transfer), so recycling is safe; the
+	// reference allocator keeps its historical allocate-per-flow
+	// behavior untouched.
+	fpool []*Flow
 }
 
 // fLink is one directed link's flow registry, kept sorted by
@@ -114,22 +122,41 @@ func (fb *Fabric) Transfer(p *Proc, src, dst int, bytes float64, reason string) 
 	if bytes <= workEpsilon {
 		return
 	}
-	f := &Flow{Src: src, Dst: dst, remaining: bytes, onDone: p.Unpark}
-	fb.startFlow(f)
+	fb.startFlow(fb.newFlow(src, dst, bytes, p.Unpark))
 	p.Park(reason)
 }
 
 // StartFlow begins an asynchronous transfer; onDone runs in kernel context
-// at completion. It returns the flow handle.
+// at completion. It returns the flow handle, valid while the transfer is
+// in flight.
 func (fb *Fabric) StartFlow(src, dst int, bytes float64, onDone func()) *Flow {
-	f := &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 	if bytes <= workEpsilon {
+		// Nothing ever registers this flow, so it stays off the pool.
 		if onDone != nil {
-			fb.eng.Schedule(0, onDone)
+			fb.eng.Post(0, onDone)
 		}
-		return f
+		return &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 	}
+	f := fb.newFlow(src, dst, bytes, onDone)
 	fb.startFlow(f)
+	return f
+}
+
+// newFlow acquires a flow object: from the free list on the fast path,
+// freshly allocated on the reference path (whose allocator is pinned).
+func (fb *Fabric) newFlow(src, dst int, bytes float64, onDone func()) *Flow {
+	if fb.ref {
+		return &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
+	}
+	var f *Flow
+	if n := len(fb.fpool); n > 0 {
+		f = fb.fpool[n-1]
+		fb.fpool[n-1] = nil
+		fb.fpool = fb.fpool[:n-1]
+	} else {
+		f = &Flow{}
+	}
+	*f = Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 	return f
 }
 

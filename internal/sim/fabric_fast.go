@@ -173,8 +173,12 @@ func (fb *Fabric) fastCollect() []int {
 			fb.dirty = append(fb.dirty, eg, in)
 		}
 		if f.onDone != nil {
-			fb.eng.Schedule(0, f.onDone)
+			fb.eng.Post(0, f.onDone)
 		}
+		// The flow is out of the registries and the heap and its callback
+		// is queued by value; the object can serve the next transfer.
+		f.onDone = nil
+		fb.fpool = append(fb.fpool, f)
 	}
 	return fb.dirty
 }

@@ -65,6 +65,13 @@ type PSResource struct {
 
 	busyIntegral float64 // ∫ usedRate dt, for average-utilization accounting
 	waiting      int     // procs currently blocked on this resource
+
+	// fpool is the fast path's flow free list: completed flows return
+	// here after their callback is dispatched (no caller holds psFlow
+	// handles — Use parks on Unpark, Start is fire-and-forget). The
+	// reference allocator keeps its historical allocate-per-flow
+	// behavior untouched.
+	fpool []*psFlow
 }
 
 type psFlow struct {
@@ -138,7 +145,7 @@ func (r *PSResource) UseWeighted(p *Proc, amount float64, weight float64, reason
 	if weight <= 0 {
 		weight = 1
 	}
-	f := &psFlow{remaining: amount, weight: weight, onDone: p.Unpark}
+	f := r.newFlow(amount, weight, p.Unpark)
 	r.start(f)
 	r.waiting++
 	p.Park(reason)
@@ -151,11 +158,29 @@ func (r *PSResource) UseWeighted(p *Proc, amount float64, weight float64, reason
 func (r *PSResource) Start(amount float64, onDone func()) {
 	if amount <= workEpsilon {
 		if onDone != nil {
-			r.eng.Schedule(0, onDone)
+			r.eng.Post(0, onDone)
 		}
 		return
 	}
-	r.start(&psFlow{remaining: amount, weight: 1, onDone: onDone})
+	r.start(r.newFlow(amount, 1, onDone))
+}
+
+// newFlow acquires a flow object: from the free list on the fast path,
+// freshly allocated on the reference path (whose allocator is pinned).
+func (r *PSResource) newFlow(amount, weight float64, onDone func()) *psFlow {
+	if r.ref {
+		return &psFlow{remaining: amount, weight: weight, onDone: onDone}
+	}
+	var f *psFlow
+	if n := len(r.fpool); n > 0 {
+		f = r.fpool[n-1]
+		r.fpool[n-1] = nil
+		r.fpool = r.fpool[:n-1]
+	} else {
+		f = &psFlow{}
+	}
+	*f = psFlow{remaining: amount, weight: weight, onDone: onDone}
+	return f
 }
 
 func (r *PSResource) start(f *psFlow) {
@@ -375,7 +400,7 @@ func (m *Memory) Free(n float64) {
 // them after delay simulated seconds (lazy GC).
 func (m *Memory) FreeLazy(eng *Engine, n, delay float64) {
 	m.reclaimable += n
-	eng.Schedule(delay, func() {
+	eng.Post(delay, func() {
 		m.reclaimable -= n
 		if m.reclaimable < 0 {
 			m.reclaimable = 0

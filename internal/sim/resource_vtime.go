@@ -145,8 +145,12 @@ func (r *PSResource) vtCollect() {
 			r.weightCount[f.weight] = c - 1
 		}
 		if f.onDone != nil {
-			r.eng.Schedule(0, f.onDone)
+			r.eng.Post(0, f.onDone)
 		}
+		// Out of the heap with the callback queued by value: the object
+		// can serve the next Start/Use.
+		f.onDone = nil
+		r.fpool = append(r.fpool, f)
 	}
 	if len(r.vheap) == 0 {
 		// Kill floating-point residue so an idle resource restarts clean.

@@ -630,7 +630,11 @@ func (s *Scenario) Run() (*Report, error) {
 	for _, te := range q.Timeline() {
 		rep.Timeline = append(rep.Timeline, TimelineEntry{T: te.T - runStart, Name: te.Name})
 	}
-	perTenant := make(map[string][]float64)
+	// Per-tenant response times stream into constant-space sketches: a
+	// long trace no longer pins a float64 per completed job. Small
+	// tenants (up to the sketch's exact-buffer size) summarize
+	// bit-identically to the old slice-and-sort aggregation.
+	perTenant := make(map[string]*metrics.Sketch)
 	slotTotal := 0.0
 	first, last := math.Inf(1), 0.0
 	for i, res := range results {
@@ -639,7 +643,12 @@ func (s *Scenario) Run() (*Report, error) {
 		jr := JobReport{Tenant: a.Tenant, Arrival: a.At, SlotSeconds: slotSec, Result: res}
 		if res.Err == nil {
 			jr.Response = (res.End - runStart) - a.At
-			perTenant[a.Tenant] = append(perTenant[a.Tenant], jr.Response)
+			sk := perTenant[a.Tenant]
+			if sk == nil {
+				sk = &metrics.Sketch{}
+				perTenant[a.Tenant] = sk
+			}
+			sk.Add(jr.Response)
 		}
 		// Failed jobs count toward the completion horizon too, as long as
 		// the engine recorded when they ended (a deadlocked job has no
@@ -658,7 +667,10 @@ func (s *Scenario) Run() (*Report, error) {
 	}
 	rep.End = last
 	for _, t := range s.tenants {
-		tr := TenantReport{Name: t.name, Weight: t.weight, Response: metrics.NewDist(perTenant[t.name])}
+		tr := TenantReport{Name: t.name, Weight: t.weight}
+		if sk := perTenant[t.name]; sk != nil {
+			tr.Response = sk.Dist()
+		}
 		for i := range rep.Jobs {
 			if rep.Jobs[i].Tenant != t.name {
 				continue
