@@ -112,3 +112,34 @@ func BenchmarkKernelScale(b *testing.B) {
 		b.ReportMetric(res.SimTime, "simsec")
 	}
 }
+
+// queueChurnBenchSmall/Large are the scheduler-churn configurations the
+// O(active) flatness claim is pinned at: bytes and allocs per job must
+// not grow from 500 to 2,000 submitted jobs. The alloc-regression guard
+// in sched_guard_test.go measures the same configurations, so the
+// recorded numbers in BENCH_sched.json are directly comparable.
+const (
+	queueChurnBenchSmall = 500
+	queueChurnBenchLarge = 2000
+)
+
+// BenchmarkQueueChurn benchmarks the scheduling layer's job churn: 2,000
+// jobs from three weighted tenants through a Fair queue in discard mode
+// on the stub churn engine. The reported bytes/job and the growth ratio
+// against the 500-job run are the O(active) regression signal — per-job
+// cost must stay flat as the submitted count quadruples.
+func BenchmarkQueueChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small, err := harness.QueueChurn(queueChurnBenchSmall, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		large, err := harness.QueueChurn(queueChurnBenchLarge, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(large.BytesPerJob(), "bytes/job")
+		b.ReportMetric(large.AllocsPerJob(), "allocs/job")
+		b.ReportMetric(large.BytesPerJob()/small.BytesPerJob(), "growthx")
+	}
+}

@@ -44,7 +44,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N] [-fidelity fast|reference] [-cpuprofile F] [-memprofile F]")
+	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N] [-workers N] [-fidelity fast|reference] [-cpuprofile F] [-memprofile F]")
 }
 
 func runCmd(args []string) {
@@ -54,6 +54,7 @@ func runCmd(args []string) {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	plots := fs.Bool("plots", false, "render ASCII time-series plots for the fig4 experiments")
 	seed := fs.Int64("seed", 0, "data generation seed (0 = default)")
+	workers := fs.Int("workers", 0, "max concurrent sims per sweep (0 = GOMAXPROCS); results are identical at any setting")
 	fidelity := fs.String("fidelity", "fast", "simulation kernel fidelity: fast (incremental allocators) or reference (original rescan allocators)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof allocation profile (after the runs) to this file")
@@ -95,6 +96,7 @@ func runCmd(args []string) {
 
 	// The experiments run inside a closure so the pprof teardown defers
 	// always flush — even when an experiment fails — before os.Exit.
+	harness.SetWorkers(*workers)
 	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed, Fidelity: fid}
 	code := func() int {
 		if *cpuprofile != "" {

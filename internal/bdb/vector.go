@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/datampi/datampi-go/internal/dfs"
 )
@@ -120,10 +121,17 @@ func DocToVector(m *SeedModel, words [][]byte) SparseVec {
 	return v
 }
 
-// vocabIndex caches word -> index maps per vocabulary size.
-var vocabCache = map[int]map[string]int32{}
+// vocabIndex caches word -> index maps per vocabulary size. The cache
+// is shared by every sim in the process, so the parallel sweep runner
+// requires the mutex.
+var (
+	vocabMu    sync.Mutex
+	vocabCache = map[int]map[string]int32{}
+)
 
 func vocabIndex(m *SeedModel) map[string]int32 {
+	vocabMu.Lock()
+	defer vocabMu.Unlock()
 	if idx, ok := vocabCache[m.Vocab]; ok {
 		return idx
 	}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDatacenterShape runs the datacenter trace in quick mode and
+// asserts the structural acceptance properties: all four tenants report,
+// every declared job completes, latency distributions are plausible
+// (p50 <= p95 <= p99), the report is streamed (the note says so), and
+// two runs render byte-identically.
+func TestDatacenterShape(t *testing.T) {
+	exp, ok := Lookup("datacenter")
+	if !ok {
+		t.Fatal("datacenter experiment not registered")
+	}
+	rep, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("tenant rows = %d, want hadoop/spark/datampi batch + interactive", len(rep.Rows))
+	}
+	jobs := 0.0
+	for _, row := range rep.Rows {
+		jobs += atof(row[2])
+		p50, p95, p99 := atof(row[3]), atof(row[4]), atof(row[5])
+		if p50 <= 0 || p95 < p50 || p99 < p95 {
+			t.Fatalf("tenant %s: implausible latency distribution p50=%v p95=%v p99=%v",
+				row[0], p50, p95, p99)
+		}
+	}
+	if jobs < 200 {
+		t.Fatalf("quick trace completed %v jobs, want >= 200", jobs)
+	}
+	streamed := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "streamed") {
+			streamed = true
+		}
+	}
+	if !streamed {
+		t.Fatalf("report should state it was streamed: %v", rep.Notes)
+	}
+	rep2, err := exp.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != rep2.Render() {
+		t.Fatalf("datacenter runs not byte-identical:\n--- first\n%s--- second\n%s",
+			rep.Render(), rep2.Render())
+	}
+}
+
+// TestDatacenterFullScale runs the full (non-quick) trace and pins the
+// headline acceptance number: at least 2,000 jobs admitted across the
+// three engine tenants plus the closed-loop users, with zero failures.
+func TestDatacenterFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2k-job trace skipped in -short")
+	}
+	exp, _ := Lookup("datacenter")
+	rep, err := exp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := 0.0
+	for _, row := range rep.Rows {
+		jobs += atof(row[2])
+	}
+	if jobs < 2000 {
+		t.Fatalf("full trace completed %v jobs, want >= 2000", jobs)
+	}
+}

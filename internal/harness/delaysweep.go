@@ -37,7 +37,8 @@ func init() {
 			rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Replication: 1, Gateway: true, Fidelity: opt.Fidelity}
 			nominal := nominalGB * cluster.GB
 			jobs := mixJobs()
-			for _, slack := range slacks {
+			rows, err := sweep(len(slacks), func(i int) ([]string, error) {
+				slack := slacks[i]
 				rig := NewRig(Hadoop, rc)
 				specs := mixSpecs(rig, jobs, nominal, rc.Seed)
 				opts := []datampi.ScenarioOption{
@@ -59,13 +60,17 @@ func init() {
 					local += jr.Result.Counters["data_local_maps"]
 					maps += jr.Result.Counters["maps"]
 				}
-				rep.Rows = append(rep.Rows, []string{
+				return []string{
 					fmt.Sprintf("%g", slack),
 					fmt.Sprintf("%d", local), fmt.Sprintf("%d", maps),
 					fmtPct(float64(local) / float64(maps)),
 					fmtSecs(srep.Makespan),
-				})
+				}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				"slack is the fraction of a balanced wave a replica holder may exceed for a local block",
 				"the mix workload (WordCount+Grep+TextSort) is co-scheduled FIFO on one Hadoop testbed",

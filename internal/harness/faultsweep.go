@@ -88,32 +88,47 @@ func init() {
 			}
 			rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 			nominal := nominalGB * cluster.GB
-			for _, fw := range frameworks {
-				clean, _, cleanOut, err := faultRun(fw, rc, nominal, -1)
-				if err != nil {
-					return nil, err
-				}
-				for _, frac := range fracs {
-					killAt := frac * clean.Elapsed
-					fault, frep, out, err := faultRun(fw, rc, nominal, killAt)
-					if err != nil {
-						return nil, fmt.Errorf("faultsweep %s killAt=%.0f: %w", fw, killAt, err)
-					}
-					outCell := "ok"
-					if !sameOutput(out, cleanOut) {
-						outCell = "CORRUPT"
-					}
-					rcv := frep.Recovery
-					rep.Rows = append(rep.Rows, []string{
-						fw.String(), fmtSecs(killAt), fmtSecs(clean.Elapsed), fmtSecs(fault.Elapsed),
-						fmtPct(fault.Elapsed/clean.Elapsed - 1),
-						fmt.Sprintf("%d", rcv.TasksRecomputed),
-						fmt.Sprintf("%d", rcv.BlocksRereplicated),
-						fmt.Sprintf("%.0f", rcv.BytesLost/cluster.MB),
-						outCell,
-					})
-				}
+			// Stage 1: the clean baseline per framework (the faulted runs
+			// need the clean runtime to place their kills).
+			type cleanRun struct {
+				res job.Result
+				out []string
 			}
+			cleans, err := sweep(len(frameworks), func(i int) (cleanRun, error) {
+				res, _, out, err := faultRun(frameworks[i], rc, nominal, -1)
+				return cleanRun{res, out}, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Stage 2: every framework × kill-fraction pair is independent.
+			rows, err := sweep(len(frameworks)*len(fracs), func(i int) ([]string, error) {
+				fw := frameworks[i/len(fracs)]
+				frac := fracs[i%len(fracs)]
+				clean := cleans[i/len(fracs)]
+				killAt := frac * clean.res.Elapsed
+				fault, frep, out, err := faultRun(fw, rc, nominal, killAt)
+				if err != nil {
+					return nil, fmt.Errorf("faultsweep %s killAt=%.0f: %w", fw, killAt, err)
+				}
+				outCell := "ok"
+				if !sameOutput(out, clean.out) {
+					outCell = "CORRUPT"
+				}
+				rcv := frep.Recovery
+				return []string{
+					fw.String(), fmtSecs(killAt), fmtSecs(clean.res.Elapsed), fmtSecs(fault.Elapsed),
+					fmtPct(fault.Elapsed/clean.res.Elapsed - 1),
+					fmt.Sprintf("%d", rcv.TasksRecomputed),
+					fmt.Sprintf("%d", rcv.BlocksRereplicated),
+					fmt.Sprintf("%.0f", rcv.BytesLost/cluster.MB),
+					outCell,
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				fmt.Sprintf("node %d killed at KillAt (scheduler, DFS datanode and in-flight attempts all fail together)", faultKillNode()),
 				"Overhead = Fault/Clean - 1; Output compares the faulted run's records byte-for-byte against the clean run's",

@@ -43,10 +43,11 @@ func runMicro(fw Framework, wl microWorkload, nominalGB float64, rc RigConfig) (
 		spec = bdb.GrepSpec(rig.FS, in, "/bench/out", GrepPattern, reducers)
 	case wlNormalSort:
 		// Normal Sort's "size" axis is the compressed sequence-file size;
-		// generate enough text that the gzip output hits the target.
-		probe := mustSeq(rig.FS, bdb.LDAWiki1W(), rc.Seed+4, 64*1024*float64(rig.FS.Config().Scale), "/bench/probe-text", "/bench/probe-seq")
-		ratio := float64(probeTextLen) / float64(probe)
-		_ = ratio
+		// generate enough text that the gzip output hits the target. Both
+		// probe calls stay: each advances the DFS placement stream, and
+		// the figure goldens pin the resulting layout.
+		probeSeq, probeText := mustSeq(rig.FS, bdb.LDAWiki1W(), rc.Seed+4, 64*1024*float64(rig.FS.Config().Scale), "/bench/probe-text", "/bench/probe-seq")
+		_, _ = probeSeq, probeText
 		textNominal := nominal * seqRatio(rig.FS, rc.Seed+4)
 		in := bdb.GenerateTextFile(rig.FS, "/bench/text", bdb.LDAWiki1W(), rc.Seed+4, textNominal)
 		seq, err := bdb.ToSeqFile(rig.FS, "/bench/text", "/bench/seq")
@@ -59,19 +60,19 @@ func runMicro(fw Framework, wl microWorkload, nominalGB float64, rc RigConfig) (
 	return rig.Engine.Run(spec), rig
 }
 
-var probeTextLen int
-
 // mustSeq and seqRatio estimate the text->gzip size ratio so Normal Sort
 // inputs can be sized by their compressed bytes, as the paper does.
-func mustSeq(fsys *dfs.FS, m *bdb.SeedModel, seed int64, textNominal float64, tname, sname string) int {
+// mustSeq returns (compressed, text) byte counts; it must stay free of
+// package-level state so parallel figure rows don't race.
+func mustSeq(fsys *dfs.FS, m *bdb.SeedModel, seed int64, textNominal float64, tname, sname string) (int, int) {
 	f := bdb.GenerateTextFile(fsys, tname, m, seed, textNominal)
-	probeTextLen = 0
+	textLen := 0
 	for _, b := range f.Blocks {
-		probeTextLen += len(b.Data)
+		textLen += len(b.Data)
 	}
 	seq, err := bdb.ToSeqFile(fsys, tname, sname)
 	if err != nil {
-		return 1
+		return 1, textLen
 	}
 	n := 0
 	for _, b := range seq.Blocks {
@@ -80,17 +81,17 @@ func mustSeq(fsys *dfs.FS, m *bdb.SeedModel, seed int64, textNominal float64, tn
 	fsys.Delete(tname)
 	fsys.Delete(sname)
 	if n == 0 {
-		return 1
+		return 1, textLen
 	}
-	return n
+	return n, textLen
 }
 
 func seqRatio(fsys *dfs.FS, seed int64) float64 {
-	comp := mustSeq(fsys, bdb.LDAWiki1W(), seed, 64*1024*fsys.Config().Scale, "/probe/t", "/probe/s")
-	if comp == 0 || probeTextLen == 0 {
+	comp, text := mustSeq(fsys, bdb.LDAWiki1W(), seed, 64*1024*fsys.Config().Scale, "/probe/t", "/probe/s")
+	if comp == 0 || text == 0 {
 		return 3
 	}
-	return float64(probeTextLen) / float64(comp)
+	return float64(text) / float64(comp)
 }
 
 // resultCell renders a job result for a table cell.
@@ -118,7 +119,9 @@ func init() {
 		Run: func(opt Options) (*Report, error) {
 			rep := &Report{ID: "fig3a", Title: "Normal Sort",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "DataMPI(s)", "Spark", "DataMPI_gain"}}
-			for _, gb := range microSizes(opt.Quick, []float64{4, 8, 16, 32}) {
+			sizes := microSizes(opt.Quick, []float64{4, 8, 16, 32})
+			rows, err := sweep(len(sizes), func(i int) ([]string, error) {
+				gb := sizes[i]
 				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlNormalSort, gb, rc)
 				d, _ := runMicro(DataMPI, wlNormalSort, gb, rc)
@@ -127,9 +130,13 @@ func init() {
 				if h.Err == nil && d.Err == nil && h.Elapsed > 0 {
 					gain = fmtPct(1 - d.Elapsed/h.Elapsed)
 				}
-				rep.Rows = append(rep.Rows, []string{
-					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(d), resultCell(s), gain})
+				return []string{
+					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(d), resultCell(s), gain}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				"paper: DataMPI 29%-33% faster than Hadoop; Spark fails with OutOfMemory on all Normal Sort sizes")
 			return rep, nil
@@ -141,7 +148,9 @@ func init() {
 		Run: func(opt Options) (*Report, error) {
 			rep := &Report{ID: "fig3b", Title: "Text Sort",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark", "DataMPI(s)", "vsHadoop", "vsSpark"}}
-			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
+			sizes := microSizes(opt.Quick, []float64{8, 16, 32, 64})
+			rows, err := sweep(len(sizes), func(i int) ([]string, error) {
+				gb := sizes[i]
 				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlTextSort, gb, rc)
 				s, _ := runMicro(Spark, wlTextSort, gb, rc)
@@ -153,9 +162,13 @@ func init() {
 				if s.Err == nil && d.Err == nil && s.Elapsed > 0 {
 					vsS = fmtPct(1 - d.Elapsed/s.Elapsed)
 				}
-				rep.Rows = append(rep.Rows, []string{
-					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH, vsS})
+				return []string{
+					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH, vsS}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				"paper: DataMPI 34%-42% over Hadoop; 8GB: DataMPI 69s vs Hadoop 117s vs Spark 114s; Spark OOMs above 8GB")
 			return rep, nil
@@ -167,7 +180,9 @@ func init() {
 		Run: func(opt Options) (*Report, error) {
 			rep := &Report{ID: "fig3c", Title: "WordCount",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark(s)", "DataMPI(s)", "vsHadoop"}}
-			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
+			sizes := microSizes(opt.Quick, []float64{8, 16, 32, 64})
+			rows, err := sweep(len(sizes), func(i int) ([]string, error) {
+				gb := sizes[i]
 				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlWordCount, gb, rc)
 				s, _ := runMicro(Spark, wlWordCount, gb, rc)
@@ -176,9 +191,13 @@ func init() {
 				if h.Err == nil && d.Err == nil && h.Elapsed > 0 {
 					vsH = fmtPct(1 - d.Elapsed/h.Elapsed)
 				}
-				rep.Rows = append(rep.Rows, []string{
-					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH})
+				return []string{
+					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				"paper: DataMPI and Spark similar; both 47%-55% faster than Hadoop; 32GB: 130s vs Hadoop 275s")
 			return rep, nil
@@ -190,7 +209,9 @@ func init() {
 		Run: func(opt Options) (*Report, error) {
 			rep := &Report{ID: "fig3d", Title: "Grep",
 				Columns: []string{"Size(GB)", "Hadoop(s)", "Spark(s)", "DataMPI(s)", "vsHadoop", "vsSpark"}}
-			for _, gb := range microSizes(opt.Quick, []float64{8, 16, 32, 64}) {
+			sizes := microSizes(opt.Quick, []float64{8, 16, 32, 64})
+			rows, err := sweep(len(sizes), func(i int) ([]string, error) {
+				gb := sizes[i]
 				rc := RigConfig{Scale: opt.scaleOr(8192), Seed: opt.seedOr(1), Fidelity: opt.Fidelity}
 				h, _ := runMicro(Hadoop, wlGrep, gb, rc)
 				s, _ := runMicro(Spark, wlGrep, gb, rc)
@@ -202,9 +223,13 @@ func init() {
 				if s.Err == nil && d.Err == nil && s.Elapsed > 0 {
 					vsS = fmtPct(1 - d.Elapsed/s.Elapsed)
 				}
-				rep.Rows = append(rep.Rows, []string{
-					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH, vsS})
+				return []string{
+					fmt.Sprintf("%.0f", gb), resultCell(h), resultCell(s), resultCell(d), vsH, vsS}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
+			rep.Rows = rows
 			rep.Notes = append(rep.Notes,
 				"paper: DataMPI 33%-42% over Hadoop, 19%-29% over Spark")
 			return rep, nil

@@ -27,6 +27,7 @@ type Dist struct {
 	Mean float64
 	P50  float64
 	P95  float64
+	P99  float64
 	Min  float64
 	Max  float64
 }
@@ -48,6 +49,7 @@ func NewDist(xs []float64) Dist {
 	d.Mean = sum / float64(len(s))
 	d.P50 = s[nearestRank(0.50, len(s))]
 	d.P95 = s[nearestRank(0.95, len(s))]
+	d.P99 = s[nearestRank(0.99, len(s))]
 	return d
 }
 

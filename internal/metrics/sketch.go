@@ -112,11 +112,13 @@ func (s *Sketch) Dist() Dist {
 		d.Mean = sum / float64(s.n)
 		d.P50 = s.exact[nearestRank(0.50, s.n)]
 		d.P95 = s.exact[nearestRank(0.95, s.n)]
+		d.P99 = s.exact[nearestRank(0.99, s.n)]
 		return d
 	}
 	d := Dist{N: s.n, Min: s.min, Max: s.max, Mean: s.sum / float64(s.n)}
 	d.P50 = s.quantile(0.50)
 	d.P95 = s.quantile(0.95)
+	d.P99 = s.quantile(0.99)
 	return d
 }
 

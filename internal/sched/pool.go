@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/datampi/datampi-go/internal/sim"
 )
@@ -16,13 +15,33 @@ import (
 // Acquire is kill-safe: a waiter cancelled while queued removes itself on
 // its way out, and one cancelled between grant and wake returns the slot,
 // so speculative-attempt cancellation and preemption never leak slots.
+//
+// Dispatch is indexed so every operation is bounded by the jobs that
+// currently hold or want slots (the active set), never by how many jobs
+// the pool has ever served: waiters queue FIFO in per-(node, job) groups,
+// each node keeps a min-heap over its groups ordered by the grant
+// priority, and per-job demand counters feed an O(1) fair share. A grant
+// is O(log groups) plus a heap fix per node the job waits on; job state
+// is deleted outright when its demand returns to zero, so a long trace
+// leaves nothing behind. The heap's priority is recomputed fresh on every
+// comparison from the live held counts (with heap re-fixes at each count
+// change), which keeps grant order bit-identical to the linear scan this
+// replaced: both select the minimum of the same total order (fair share,
+// job seq, waiter seq).
 type SlotPool struct {
 	policy  Policy
 	perNode int // current target width (slots per node)
 	base    int // width the pool was created with (PoolSet mismatch check)
 	free    []int
-	queues  [][]*poolWaiter
-	held    map[*JobHandle]int
+	nodes   []nodeWaiters
+	info    map[*JobHandle]*handleInfo
+	// nDemand/wSum track the jobs currently holding or wanting slots and
+	// their summed weights — FairShare's denominator, maintained
+	// incrementally on zero-crossings of each job's demand. wSum resets to
+	// an exact 0 whenever the active set empties, so no floating-point
+	// residue survives across trace generations.
+	nDemand int
+	wSum    float64
 	// debt counts slots Shrink retired while tasks were still running on
 	// them: each Release absorbs one unit of debt instead of granting the
 	// slot, draining the pool to its new width without killing anything.
@@ -38,6 +57,34 @@ type poolWaiter struct {
 	granted bool    // slot assigned, wake pending
 }
 
+// handleGroup is one job's FIFO of waiters on one node, plus the group's
+// position in the node's grant heap. The head waiter (ws[pop]) carries the
+// group's tie-break key and its starvation age: within a job waiters are
+// strictly FIFO, so the head is always the oldest and lowest-seq waiter.
+type handleGroup struct {
+	h    *JobHandle
+	node int
+	ws   []*poolWaiter
+	pop  int // head index; grants advance it, compacted amortized
+	hix  int // index in the node's grant heap
+}
+
+// handleInfo is one job's live accounting in the pool, created when the
+// job first holds or wants a slot and deleted when both counts return to
+// zero.
+type handleInfo struct {
+	held    int
+	waiting int
+	groups  []*handleGroup // nodes where the job currently has waiters
+}
+
+// nodeWaiters indexes one node's waiting groups: a lookup by job for
+// enqueue and a min-heap ordered by grant priority for dispatch.
+type nodeWaiters struct {
+	byHandle map[*JobHandle]*handleGroup
+	heap     []*handleGroup
+}
+
 // NewSlotPool creates a pool with perNode slots on each of nodes nodes.
 func NewSlotPool(policy Policy, nodes, perNode int) *SlotPool {
 	if nodes <= 0 || perNode <= 0 {
@@ -48,8 +95,8 @@ func NewSlotPool(policy Policy, nodes, perNode int) *SlotPool {
 		perNode: perNode,
 		base:    perNode,
 		free:    newFilled(nodes, perNode),
-		queues:  make([][]*poolWaiter, nodes),
-		held:    make(map[*JobHandle]int),
+		nodes:   make([]nodeWaiters, nodes),
+		info:    make(map[*JobHandle]*handleInfo),
 		debt:    make([]int, nodes),
 	}
 }
@@ -72,10 +119,57 @@ func (sp *SlotPool) Nodes() int { return len(sp.free) }
 func (sp *SlotPool) Free(node int) int { return sp.free[node] }
 
 // Held returns how many of the pool's slots h currently holds.
-func (sp *SlotPool) Held(h *JobHandle) int { return sp.held[h] }
+func (sp *SlotPool) Held(h *JobHandle) int {
+	hi := sp.info[h]
+	if hi == nil {
+		return 0
+	}
+	return hi.held
+}
 
 // Policy returns the pool's grant-arbitration policy.
 func (sp *SlotPool) Policy() Policy { return sp.policy }
+
+// infoFor returns h's live accounting, creating it on first demand.
+func (sp *SlotPool) infoFor(h *JobHandle) *handleInfo {
+	hi := sp.info[h]
+	if hi == nil {
+		hi = &handleInfo{}
+		sp.info[h] = hi
+	}
+	return hi
+}
+
+// demandDelta settles the active-set counters after one of h's demand
+// components changed; before is held+waiting prior to the change. On the
+// fall to zero h's accounting is deleted — the pool forgets settled jobs.
+func (sp *SlotPool) demandDelta(h *JobHandle, hi *handleInfo, before int) {
+	after := hi.held + hi.waiting
+	switch {
+	case before == 0 && after > 0:
+		sp.nDemand++
+		sp.wSum += h.weight
+	case before > 0 && after == 0:
+		sp.nDemand--
+		if sp.nDemand == 0 {
+			sp.wSum = 0
+		} else {
+			sp.wSum -= h.weight
+		}
+		delete(sp.info, h)
+	}
+}
+
+// refix restores heap order for every group of a job whose held count
+// changed (held is the Fair priority's numerator; FIFO keys are static).
+func (sp *SlotPool) refix(hi *handleInfo) {
+	if sp.policy != Fair {
+		return
+	}
+	for _, g := range hi.groups {
+		sp.heapFix(&sp.nodes[g.node], g.hix)
+	}
+}
 
 // Acquire takes one slot on node for job h, parking the proc until the
 // pool grants one under its policy. reason labels the blocked state for
@@ -86,12 +180,33 @@ func (sp *SlotPool) Acquire(p *sim.Proc, node int, h *JobHandle, reason string) 
 	// waiter.
 	if sp.free[node] > 0 {
 		sp.free[node]--
-		sp.held[h]++
+		hi := sp.infoFor(h)
+		before := hi.held + hi.waiting
+		hi.held++
+		sp.demandDelta(h, hi, before)
+		sp.refix(hi)
 		return
 	}
 	w := &poolWaiter{p: p, h: h, seq: sp.arrival, at: p.Engine().Now()}
-	sp.queues[node] = append(sp.queues[node], w)
 	sp.arrival++
+	hi := sp.infoFor(h)
+	before := hi.held + hi.waiting
+	hi.waiting++
+	sp.demandDelta(h, hi, before)
+	nw := &sp.nodes[node]
+	g := nw.byHandle[h]
+	if g == nil {
+		g = &handleGroup{h: h, node: node, hix: -1}
+		if nw.byHandle == nil {
+			nw.byHandle = make(map[*JobHandle]*handleGroup)
+		}
+		nw.byHandle[h] = g
+		hi.groups = append(hi.groups, g)
+		g.ws = append(g.ws, w)
+		sp.heapPush(nw, g)
+	} else {
+		g.ws = append(g.ws, w)
+	}
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -99,33 +214,79 @@ func (sp *SlotPool) Acquire(p *sim.Proc, node int, h *JobHandle, reason string) 
 		}
 		// The waiter is unwinding (cancelled attempt): undo its pool state
 		// before the panic continues. A granted-but-not-woken waiter hands
-		// its slot back; a still-queued one just leaves the queue.
+		// its slot back; a still-queued one just leaves its group.
 		if w.granted {
-			sp.held[h]--
+			hi := sp.info[h]
+			before := hi.held + hi.waiting
+			hi.held--
+			sp.demandDelta(h, hi, before)
+			sp.refix(hi)
 			sp.free[node]++
 			sp.grant(node)
 		} else {
-			q := sp.queues[node]
-			for i, other := range q {
-				if other == w {
-					sp.queues[node] = append(q[:i], q[i+1:]...)
-					break
-				}
-			}
+			sp.removeWaiter(node, h, w)
 		}
 		panic(r)
 	}()
 	p.Park(reason)
 }
 
+// removeWaiter takes a still-queued waiter out of its group (cancelled
+// while waiting), dropping the group when it drains.
+func (sp *SlotPool) removeWaiter(node int, h *JobHandle, w *poolWaiter) {
+	nw := &sp.nodes[node]
+	g := nw.byHandle[h]
+	wasHead := false
+	for i := g.pop; i < len(g.ws); i++ {
+		if g.ws[i] == w {
+			wasHead = i == g.pop
+			copy(g.ws[i:], g.ws[i+1:])
+			g.ws[len(g.ws)-1] = nil
+			g.ws = g.ws[:len(g.ws)-1]
+			break
+		}
+	}
+	hi := sp.info[h]
+	before := hi.held + hi.waiting
+	hi.waiting--
+	sp.demandDelta(h, hi, before)
+	if g.pop >= len(g.ws) {
+		sp.dropGroup(nw, g, hi)
+	} else if wasHead {
+		sp.heapFix(nw, g.hix) // new head carries a later seq
+	}
+}
+
+// dropGroup removes a drained group from its node's heap and lookup and
+// from its job's group list. hi may already be deleted from sp.info (the
+// job's demand hit zero); the local pointer still carries its group list.
+func (sp *SlotPool) dropGroup(nw *nodeWaiters, g *handleGroup, hi *handleInfo) {
+	sp.heapRemove(nw, g.hix)
+	delete(nw.byHandle, g.h)
+	for i, og := range hi.groups {
+		if og == g {
+			last := len(hi.groups) - 1
+			hi.groups[i] = hi.groups[last]
+			hi.groups[last] = nil
+			hi.groups = hi.groups[:last]
+			break
+		}
+	}
+	g.ws, g.pop, g.hix = nil, 0, -1
+}
+
 // Release returns one of h's slots on node, granting it to the best
 // waiter, if any, under the pool's policy. When the node owes shrink debt
 // the slot is retired instead of granted.
 func (sp *SlotPool) Release(node int, h *JobHandle) {
-	if sp.held[h] <= 0 {
+	hi := sp.info[h]
+	if hi == nil || hi.held <= 0 {
 		panic("sched: Release without matching Acquire")
 	}
-	sp.held[h]--
+	before := hi.held + hi.waiting
+	hi.held--
+	sp.demandDelta(h, hi, before)
+	sp.refix(hi)
 	if sp.debt[node] > 0 {
 		sp.debt[node]--
 		return
@@ -136,30 +297,56 @@ func (sp *SlotPool) Release(node int, h *JobHandle) {
 
 // grant hands out free slots on node to the best waiters under the pool's
 // policy until slots or waiters run out (after Release exactly one slot is
-// free; Grow can free several at once).
+// free; Grow can free several at once). Each grant pops the head of the
+// heap-minimum group — the same waiter the replaced linear scan selected —
+// then re-fixes the group for its new head and the job's other groups for
+// its new held count.
 func (sp *SlotPool) grant(node int) {
-	for sp.free[node] > 0 && len(sp.queues[node]) > 0 {
-		q := sp.queues[node]
-		best := 0
-		for i := 1; i < len(q); i++ {
-			if sp.better(q[i], q[best]) {
-				best = i
-			}
-		}
-		w := q[best]
-		sp.queues[node] = append(q[:best], q[best+1:]...)
+	nw := &sp.nodes[node]
+	for sp.free[node] > 0 && len(nw.heap) > 0 {
+		g := nw.heap[0]
+		w := g.ws[g.pop]
+		g.ws[g.pop] = nil
+		g.pop++
+		hi := sp.info[g.h]
+		hi.waiting--
+		hi.held++ // net demand unchanged: no zero-crossing possible here
 		sp.free[node]--
-		sp.held[w.h]++
 		w.granted = true
+		if g.pop >= len(g.ws) {
+			sp.dropGroup(nw, g, hi)
+		} else {
+			g.compact()
+			sp.heapFix(nw, g.hix)
+		}
+		sp.refix(hi)
 		w.p.Unpark()
 	}
 }
 
-// better reports whether waiter a should be granted before waiter b.
-func (sp *SlotPool) better(a, b *poolWaiter) bool {
-	if sp.policy == Fair && a.h != b.h {
-		sa := float64(sp.held[a.h]) / a.h.weight
-		sb := float64(sp.held[b.h]) / b.h.weight
+// compact reclaims the popped prefix of the group's waiter slice once it
+// dominates, keeping per-group memory proportional to queued waiters.
+func (g *handleGroup) compact() {
+	if g.pop < 32 || g.pop*2 < len(g.ws) {
+		return
+	}
+	n := copy(g.ws, g.ws[g.pop:])
+	for i := n; i < len(g.ws); i++ {
+		g.ws[i] = nil
+	}
+	g.ws = g.ws[:n]
+	g.pop = 0
+}
+
+// gLess orders two waiting groups on one node by grant priority: weighted
+// held share under Fair (computed fresh from the live counts), then job
+// admission seq, then head waiter seq. Head seqs are globally unique, so
+// the order is total and the heap minimum is exactly the waiter the
+// replaced full scan picked.
+func (sp *SlotPool) gLess(a, b *handleGroup) bool {
+	if sp.policy == Fair {
+		sa := float64(sp.info[a.h].held) / a.h.weight
+		sb := float64(sp.info[b.h].held) / b.h.weight
 		if sa != sb {
 			return sa < sb
 		}
@@ -167,7 +354,75 @@ func (sp *SlotPool) better(a, b *poolWaiter) bool {
 	if a.h.seq != b.h.seq {
 		return a.h.seq < b.h.seq
 	}
-	return a.seq < b.seq
+	return a.ws[a.pop].seq < b.ws[b.pop].seq
+}
+
+// heapPush/heapRemove/heapFix maintain a node's grant heap (hand-rolled
+// over the group slice, with each group tracking its own index so key
+// changes re-fix in O(log n) without search).
+func (sp *SlotPool) heapPush(nw *nodeWaiters, g *handleGroup) {
+	g.hix = len(nw.heap)
+	nw.heap = append(nw.heap, g)
+	sp.siftUp(nw, g.hix)
+}
+
+func (sp *SlotPool) heapRemove(nw *nodeWaiters, i int) {
+	last := len(nw.heap) - 1
+	nw.heap[i].hix = -1
+	if i != last {
+		nw.heap[i] = nw.heap[last]
+		nw.heap[i].hix = i
+	}
+	nw.heap[last] = nil
+	nw.heap = nw.heap[:last]
+	if i < last {
+		sp.heapFix(nw, i)
+	}
+}
+
+func (sp *SlotPool) heapFix(nw *nodeWaiters, i int) {
+	if !sp.siftUp(nw, i) {
+		sp.siftDown(nw, i)
+	}
+}
+
+func (sp *SlotPool) siftUp(nw *nodeWaiters, i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sp.gLess(nw.heap[i], nw.heap[parent]) {
+			break
+		}
+		nw.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (sp *SlotPool) siftDown(nw *nodeWaiters, i int) {
+	n := len(nw.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && sp.gLess(nw.heap[right], nw.heap[left]) {
+			least = right
+		}
+		if !sp.gLess(nw.heap[least], nw.heap[i]) {
+			return
+		}
+		nw.swap(i, least)
+		i = least
+	}
+}
+
+func (nw *nodeWaiters) swap(i, j int) {
+	nw.heap[i], nw.heap[j] = nw.heap[j], nw.heap[i]
+	nw.heap[i].hix = i
+	nw.heap[j].hix = j
 }
 
 // Grow widens the pool to perNode slots on every node (a no-op if it is
@@ -227,65 +482,45 @@ func (sp *SlotPool) Shrink(perNode int) {
 // Shrink (running tasks whose slots will not be re-granted).
 func (sp *SlotPool) Debt(node int) int { return sp.debt[node] }
 
-// demandHandles returns every job currently holding slots or waiting for
-// one, in admission order (deterministic despite the held map).
-func (sp *SlotPool) demandHandles() []*JobHandle {
-	seen := make(map[*JobHandle]bool)
-	var out []*JobHandle
-	add := func(h *JobHandle) {
-		if !seen[h] {
-			seen[h] = true
-			out = append(out, h)
-		}
-	}
-	for h, n := range sp.held {
-		if n > 0 {
-			add(h)
-		}
-	}
-	for _, q := range sp.queues {
-		for _, w := range q {
-			add(w.h)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
-	return out
-}
+// Demand returns how many jobs currently hold or want slots — the pool's
+// active set, the bound on all of its per-operation work.
+func (sp *SlotPool) Demand() int { return sp.nDemand }
 
 // FairShare returns h's weighted fair share of the pool's total slots,
-// dividing among the jobs that currently hold or want slots.
+// dividing among the jobs that currently hold or want slots. The
+// denominator is maintained incrementally; with the integral weights the
+// scheduler uses it is exactly the sum a fresh scan would compute.
 func (sp *SlotPool) FairShare(h *JobHandle) float64 {
 	total := float64(sp.Nodes() * sp.perNode)
-	sum := 0.0
-	for _, d := range sp.demandHandles() {
-		sum += d.weight
-	}
-	if sum == 0 {
+	if sp.wSum == 0 {
 		return total
 	}
-	return total * h.weight / sum
+	return total * h.weight / sp.wSum
 }
 
 // Starved returns the earliest-admitted job that has had a waiter queued
 // for at least patience while holding less than its weighted fair share,
 // together with the node its oldest qualifying waiter queues on; (nil, -1)
 // when no job starves. The preemption monitor kills for the returned node
-// so the freed slot reaches the starved waiter.
+// so the freed slot reaches the starved waiter. Only group heads need
+// inspection: within a job waiters age and rank monotonically, and the
+// share test is per-job, so a group's best candidate is always its head.
 func (sp *SlotPool) Starved(now, patience float64) (*JobHandle, int) {
 	var starved *JobHandle
 	var starvedSeq int64
 	node := -1
-	for n, q := range sp.queues {
-		for _, w := range q {
-			if w.granted || now-w.at < patience {
+	for n := range sp.nodes {
+		for _, g := range sp.nodes[n].heap {
+			w := g.ws[g.pop]
+			if now-w.at < patience {
 				continue
 			}
-			if float64(sp.held[w.h])+1 > sp.FairShare(w.h)+1e-9 {
+			if float64(sp.info[g.h].held)+1 > sp.FairShare(g.h)+1e-9 {
 				continue
 			}
-			if starved == nil || w.h.seq < starved.seq ||
-				(w.h == starved && w.seq < starvedSeq) {
-				starved, starvedSeq, node = w.h, w.seq, n
+			if starved == nil || g.h.seq < starved.seq ||
+				(g.h == starved && w.seq < starvedSeq) {
+				starved, starvedSeq, node = g.h, w.seq, n
 			}
 		}
 	}

@@ -84,6 +84,13 @@ func Solo(eng *sim.Engine, nodes int) *JobControl {
 // simulated resources (CPU, disk, network, memory) beneath them. Its
 // tracker owns every admitted job's task attempts, enabling speculative
 // execution and preemption across jobs.
+//
+// Queue state is O(active): deferred admissions wait in a time-ordered
+// heap drained by a single re-armed timer (no per-submission closure or
+// timer), and — when a completion sink opts in via DiscardSettled —
+// finished submissions compact out of the live set, so steady-state
+// memory is proportional to queued+running jobs, not to the length of the
+// trace.
 type Queue struct {
 	eng      *sim.Engine
 	pools    *PoolSet
@@ -92,6 +99,32 @@ type Queue struct {
 	subs     []*Submission
 	nextSeq  int
 	timeline []TimelineEntry
+
+	// pending is a min-heap of deferred admissions keyed (due time,
+	// admission order), drained batch-wise by admitTick.
+	pending []pendingAdm
+	pseq    int64
+	admitT  *sim.Timer
+	armed   bool
+	armedAt float64
+
+	admitted int // Admit calls
+	ndone    int // completions, the O(1) counter Run checks
+	settled  int // completed submissions still in subs (discard mode)
+
+	onDone  func(*Submission)
+	discard bool
+}
+
+// pendingAdm is one deferred admission: everything start needs, held by
+// value in the queue's heap until the sim clock reaches its due time.
+type pendingAdm struct {
+	at   float64
+	seq  int64 // admission order, the tie-break for equal due times
+	sub  *Submission
+	e    Engine
+	ctl  *JobControl
+	spec job.Spec
 }
 
 // NewQueue creates a queue over a simulation engine and cluster size.
@@ -119,6 +152,21 @@ func (q *Queue) SetPreemption(c PreemptionConfig) { q.tracker.SetPreemption(c) }
 // should prefer the declarative equivalent, datampi.WithLocalitySlack on
 // a Scenario.
 func (q *Queue) SetLocalitySlack(slack float64) { q.slack = slack }
+
+// OnComplete registers a sink invoked (in simulation context) as each
+// submission completes, with its result and slot accounting still
+// available — the streaming alternative to collecting Run's result slice.
+// Call before Run.
+func (q *Queue) OnComplete(fn func(*Submission)) { q.onDone = fn }
+
+// DiscardSettled makes the queue forget each submission once it completes
+// (after the OnComplete sink has seen it): the submission compacts out of
+// the live set and its scheduling state — slot-seconds and straggler
+// statistics under its handle — is released from the tracker. Steady-state
+// queue memory then tracks queued+running jobs only. Run's result slice
+// covers only submissions still live at the end, so callers opting in
+// consume results via OnComplete.
+func (q *Queue) DiscardSettled(on bool) { q.discard = on }
 
 // TrackerStats returns the task-lifecycle counters (backups, kills,
 // preemptions) accumulated across all submitted jobs.
@@ -177,9 +225,11 @@ func (q *Queue) SubmitWeighted(delay, weight float64, e Engine, spec job.Spec) *
 // Admit admits a job for tenant at absolute simulated time at (clamped to
 // now) with the given fair-share weight — the scenario trace's deferred-
 // admission primitive. A job due now starts synchronously, exactly like
-// Submit; a future one is held until the sim clock reaches its arrival,
-// so FIFO priority follows actual admission order. Tenant is a fair-share
-// identity for report accounting; "" means none.
+// Submit; a future one waits in the pending heap until the sim clock
+// reaches its arrival, so FIFO priority follows actual admission order:
+// deferred jobs start in (due time, Admit order), regardless of the order
+// Admit was called in. Tenant is a fair-share identity for report
+// accounting; "" means none.
 //
 // Contract: the queue's locality slack is captured into the job's control
 // at Admit time, not when a deferred job later starts — per-tenant slack
@@ -196,22 +246,161 @@ func (q *Queue) Admit(tenant string, at, weight float64, e Engine, spec job.Spec
 	h := &JobHandle{name: e.Name() + ":" + spec.Name, weight: weight, tenant: tenant}
 	ctl := &JobControl{handle: h, pools: q.pools, tracker: q.tracker, slack: q.slack}
 	sub := &Submission{name: h.name, tenant: tenant, arrival: at, handle: h}
-	start := func() {
-		h.seq = q.nextSeq
-		q.nextSeq++
-		e.Submit(spec, ctl, func(r job.Result) {
-			sub.res = r
-			sub.done = true
-		})
-	}
-	if at > now {
-		q.eng.Schedule(at-now, func() { start() })
-	} else {
-		start()
-	}
 	q.subs = append(q.subs, sub)
+	q.admitted++
+	if at > now {
+		q.pushPending(pendingAdm{at: at, seq: q.pseq, sub: sub, e: e, ctl: ctl, spec: spec})
+		q.pseq++
+		q.armAdmission()
+	} else {
+		q.start(sub, e, spec, ctl)
+	}
 	return sub
 }
+
+// start assigns the job's admission sequence (actual start order — the
+// FIFO rank) and hands it to its engine.
+func (q *Queue) start(sub *Submission, e Engine, spec job.Spec, ctl *JobControl) {
+	ctl.handle.seq = q.nextSeq
+	q.nextSeq++
+	e.Submit(spec, ctl, func(r job.Result) { q.complete(sub, r) })
+}
+
+// complete records one submission's result, feeds the sink, and in
+// discard mode compacts settled submissions amortized so the live slice
+// never holds more than half garbage.
+func (q *Queue) complete(sub *Submission, r job.Result) {
+	sub.res = r
+	sub.done = true
+	q.ndone++
+	if q.onDone != nil {
+		q.onDone(sub)
+	}
+	if q.discard {
+		q.tracker.ReleaseHandle(sub.handle)
+		q.settled++
+		if q.settled > 32 && q.settled*2 > len(q.subs) {
+			q.compactSubs()
+		}
+	}
+}
+
+func (q *Queue) compactSubs() {
+	live := q.subs[:0]
+	for _, s := range q.subs {
+		if !s.done {
+			live = append(live, s)
+		}
+	}
+	for i := len(live); i < len(q.subs); i++ {
+		q.subs[i] = nil
+	}
+	q.subs = live
+	q.settled = 0
+}
+
+// armAdmission (re)arms the queue's single admission timer for the
+// earliest pending due time. One sim.Timer serves the whole trace: a new
+// earliest arrival resets it, admitTick re-arms it for the next deadline.
+func (q *Queue) armAdmission() {
+	next := q.pending[0].at
+	if q.armed && next >= q.armedAt {
+		return
+	}
+	q.armed = true
+	q.armedAt = next
+	delay := next - q.eng.Now()
+	if q.admitT == nil {
+		q.admitT = q.eng.Schedule(delay, q.admitTick)
+	} else {
+		q.admitT.Reset(delay)
+	}
+}
+
+func (q *Queue) admitTick() {
+	q.armed = false
+	q.drainDueAdmissions()
+	if len(q.pending) > 0 {
+		q.armAdmission()
+	}
+}
+
+// drainDueAdmissions starts every pending admission whose due time has
+// arrived, in (due time, Admit order).
+func (q *Queue) drainDueAdmissions() {
+	now := q.eng.Now()
+	for len(q.pending) > 0 && q.pending[0].at <= now {
+		pa := q.popPending()
+		q.start(pa.sub, pa.e, pa.spec, pa.ctl)
+	}
+}
+
+// pushPending/popPending maintain the deferred-admission min-heap, keyed
+// (due time, admission order). Hand-rolled over the value slice so a
+// 10k-job trace costs no per-entry boxing.
+func (q *Queue) pushPending(pa pendingAdm) {
+	q.pending = append(q.pending, pa)
+	i := len(q.pending) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pendingLess(q.pending[i], q.pending[parent]) {
+			break
+		}
+		q.pending[i], q.pending[parent] = q.pending[parent], q.pending[i]
+		i = parent
+	}
+}
+
+func (q *Queue) popPending() pendingAdm {
+	top := q.pending[0]
+	last := len(q.pending) - 1
+	q.pending[0] = q.pending[last]
+	q.pending[last] = pendingAdm{}
+	q.pending = q.pending[:last]
+	i, n := 0, last
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && pendingLess(q.pending[right], q.pending[left]) {
+			least = right
+		}
+		if !pendingLess(q.pending[least], q.pending[i]) {
+			break
+		}
+		q.pending[i], q.pending[least] = q.pending[least], q.pending[i]
+		i = least
+	}
+	return top
+}
+
+func pendingLess(a, b pendingAdm) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Pending returns how many deferred admissions are still waiting for
+// their due time.
+func (q *Queue) Pending() int { return len(q.pending) }
+
+// Admitted returns how many submissions the queue has accepted so far.
+func (q *Queue) Admitted() int { return q.admitted }
+
+// Completed returns how many submissions have delivered a result.
+func (q *Queue) Completed() int { return q.ndone }
+
+// Outstanding returns admitted-but-unfinished submissions (queued or
+// running).
+func (q *Queue) Outstanding() int { return q.admitted - q.ndone }
+
+// Submissions returns the queue's live submission slice in admission
+// order. Under DiscardSettled completed entries may already be compacted
+// away.
+func (q *Queue) Submissions() []*Submission { return q.subs }
 
 // Now returns the current simulated time of the queue's engine.
 func (q *Queue) Now() float64 { return q.eng.Now() }
@@ -234,7 +423,15 @@ func (q *Queue) At(t float64, name string, fn func()) {
 		return
 	}
 	q.timeline = append(q.timeline, TimelineEntry{T: t, Name: name})
-	q.eng.Schedule(t-now, fn)
+	q.eng.Schedule(t-now, func() {
+		// Admissions due at exactly this instant start first: the
+		// per-submission timers this queue used to schedule at trace-build
+		// time carried earlier sequence numbers than any timeline event
+		// sharing their timestamp, and the single re-armed timer must
+		// preserve that arrival-before-perturbation order.
+		q.drainDueAdmissions()
+		fn()
+	})
 }
 
 // Timeline returns the recorded perturbation events sorted by time
@@ -280,19 +477,27 @@ func (q *Queue) ShrinkPool(kind string, perNode int) bool {
 }
 
 // Run drives the simulation until every admitted job completes and returns
-// their results in submission order. A job that never completed (a
-// simulation deadlock) reports the engine error in its result.
+// the live submissions' results in admission order. Completion is tracked
+// by counter, so the unfinished-job scan below runs only when a job
+// actually failed to complete (a simulation deadlock), in which case it
+// reports the engine error in that job's result. Under DiscardSettled the
+// slice covers only submissions still live at the end; streaming callers
+// consume results through OnComplete instead.
 func (q *Queue) Run() []job.Result {
 	err := q.eng.Run()
-	out := make([]job.Result, len(q.subs))
-	for i, s := range q.subs {
-		if !s.done && s.res.Err == nil {
-			if err != nil {
-				s.res.Err = fmt.Errorf("sched: job %s did not complete: %w", s.name, err)
-			} else {
-				s.res.Err = fmt.Errorf("sched: job %s did not complete", s.name)
+	if q.ndone < q.admitted || err != nil {
+		for _, s := range q.subs {
+			if !s.done && s.res.Err == nil {
+				if err != nil {
+					s.res.Err = fmt.Errorf("sched: job %s did not complete: %w", s.name, err)
+				} else {
+					s.res.Err = fmt.Errorf("sched: job %s did not complete", s.name)
+				}
 			}
 		}
+	}
+	out := make([]job.Result, len(q.subs))
+	for i, s := range q.subs {
 		out[i] = s.res
 	}
 	return out

@@ -246,7 +246,12 @@ type TaskTracker struct {
 
 	// groups accumulates completed-attempt rates and durations per
 	// (job, kind) as tasks settle, so monitor ticks never rescan history.
-	groups map[groupKey]*groupStat
+	// Each stat maintains its medians incrementally (dual heaps), so a
+	// tick reads them in O(1) instead of re-sorting the group's full win
+	// history. hgroups remembers each job's group keys so ReleaseHandle
+	// can drop its statistics without a map scan.
+	groups  map[groupKey]*groupStat
+	hgroups map[*JobHandle][]string
 
 	// down marks failed nodes: no attempt is placed there and attempts
 	// caught on one are killed and requeued (NodeDown).
@@ -259,6 +264,7 @@ type TaskTracker struct {
 	slotSec map[*JobHandle]float64
 
 	outstanding int
+	settledLive int   // settled tasks still in the scan set, compacted amortized
 	nextUID     int64 // attempt ids, scoping temp output paths
 	timer       *sim.Timer
 	stats       TrackerStats
@@ -276,7 +282,80 @@ type groupKey struct {
 	group string
 }
 
-type groupStat struct{ rates, durs []float64 }
+type groupStat struct{ rates, durs runningMedian }
+
+// runningMedian maintains the lower-middle median of a stream in
+// O(log n) per insertion: lo is a max-heap holding the smallest
+// ceil(n/2) samples, hi a min-heap holding the rest, so the median — the
+// (n-1)/2-th smallest, exactly the element sorting the history and
+// indexing its lower middle returns — is always lo's top.
+type runningMedian struct {
+	lo, hi []float64 // max-heap of the lower half / min-heap of the upper
+}
+
+func (m *runningMedian) n() int { return len(m.lo) + len(m.hi) }
+
+func (m *runningMedian) add(x float64) {
+	if len(m.lo) == 0 || x <= m.lo[0] {
+		heapPushF(&m.lo, x, false)
+	} else {
+		heapPushF(&m.hi, x, true)
+	}
+	if len(m.lo) > len(m.hi)+1 {
+		heapPushF(&m.hi, heapPopF(&m.lo, false), true)
+	} else if len(m.hi) > len(m.lo) {
+		heapPushF(&m.lo, heapPopF(&m.hi, true), false)
+	}
+}
+
+func (m *runningMedian) median() float64 { return m.lo[0] }
+
+func fLess(a, b float64, min bool) bool {
+	if min {
+		return a < b
+	}
+	return a > b
+}
+
+func heapPushF(h *[]float64, x float64, min bool) {
+	s := append(*h, x)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !fLess(s[i], s[p], min) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func heapPopF(h *[]float64, min bool) float64 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		least := l
+		if r := l + 1; r < len(s) && fLess(s[r], s[l], min) {
+			least = r
+		}
+		if !fLess(s[least], s[i], min) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	*h = s
+	return top
+}
 
 // NewTaskTracker creates a tracker over the simulation engine. The zero
 // configs disable speculation and preemption.
@@ -285,6 +364,7 @@ func NewTaskTracker(eng *sim.Engine, spec SpeculationConfig, pre PreemptionConfi
 		eng:     eng,
 		seen:    make(map[*SlotPool]bool),
 		groups:  make(map[groupKey]*groupStat),
+		hgroups: make(map[*JobHandle][]string),
 		down:    make(map[int]bool),
 		slotSec: make(map[*JobHandle]float64),
 	}
@@ -325,6 +405,14 @@ func (t *TaskTracker) NoteRecompute() { t.stats.Recomputes++ }
 func (t *TaskTracker) Launch(ts TaskSpec) {
 	if ts.Pool == nil || ts.Handle == nil || ts.Body == nil {
 		panic("sched: TaskSpec needs Pool, Handle and Body")
+	}
+	// Amortized compaction on the launch path keeps the scan set bounded
+	// by live tasks even when no monitor tick runs (speculation and
+	// preemption off): a long trace's settled tasks are recycled here
+	// instead of accumulating for the whole run. Pure bookkeeping — it
+	// adds no simulation events.
+	if t.settledLive > 64 && t.settledLive*2 > len(t.tasks) {
+		t.compactTasks()
 	}
 	task := &trackedTask{spec: ts}
 	t.tasks = append(t.tasks, task)
@@ -616,6 +704,7 @@ func (t *TaskTracker) altNode(task *trackedTask) int {
 // open past job completion.
 func (t *TaskTracker) settle(task *trackedTask) {
 	task.settled = true
+	t.settledLive++
 	t.outstanding--
 	if t.outstanding == 0 && t.timer != nil {
 		t.timer.Cancel()
@@ -635,9 +724,25 @@ func (t *TaskTracker) recordWin(task *trackedTask, att *Attempt) {
 	if g == nil {
 		g = &groupStat{}
 		t.groups[key] = g
+		t.hgroups[key.h] = append(t.hgroups[key.h], key.group)
 	}
-	g.rates = append(g.rates, 1/d)
-	g.durs = append(g.durs, d)
+	g.rates.add(1 / d)
+	g.durs.add(d)
+}
+
+// ReleaseHandle drops every per-job accumulator kept under h — straggler
+// statistics and slot-second integration — once the job has completed and
+// its accounting has been read. The queue's DiscardSettled mode calls it
+// per completion so tracker memory stays proportional to running jobs. By
+// the time a job's done callback fires every attempt has fully unwound
+// (losers are cancelled and unwind before the driver finishes), so
+// nothing can accrue under the handle afterwards.
+func (t *TaskTracker) ReleaseHandle(h *JobHandle) {
+	for _, group := range t.hgroups[h] {
+		delete(t.groups, groupKey{h, group})
+	}
+	delete(t.hgroups, h)
+	delete(t.slotSec, h)
 }
 
 // cancelSiblings kills every other in-flight attempt of a settled task.
@@ -686,11 +791,23 @@ func (t *TaskTracker) tick() {
 	if t.outstanding == 0 {
 		return
 	}
-	// Compact settled tasks out of the scan set (launch order preserved):
-	// the monitors only care about live attempts, and completed-task
-	// statistics already live in t.groups. Attempts of a settled task
-	// whose procs have all fully unwound can never be referenced again —
-	// the deterministic boundary at which they return to the free list.
+	t.compactTasks()
+	if t.spec.Enabled {
+		t.speculate()
+	}
+	if t.pre.Enabled {
+		t.preempt()
+	}
+	t.arm()
+}
+
+// compactTasks removes settled tasks from the scan set (launch order
+// preserved): the monitors only care about live attempts, and
+// completed-task statistics already live in t.groups. Attempts of a
+// settled task whose procs have all fully unwound can never be referenced
+// again — the deterministic boundary at which they return to the free
+// list.
+func (t *TaskTracker) compactTasks() {
 	live := t.tasks[:0]
 	for _, task := range t.tasks {
 		if !task.settled {
@@ -699,14 +816,11 @@ func (t *TaskTracker) tick() {
 		}
 		t.recycleAttempts(task)
 	}
+	for i := len(live); i < len(t.tasks); i++ {
+		t.tasks[i] = nil
+	}
 	t.tasks = live
-	if t.spec.Enabled {
-		t.speculate()
-	}
-	if t.pre.Enabled {
-		t.preempt()
-	}
-	t.arm()
+	t.settledLive = 0
 }
 
 // recycleAttempts returns a settled task's attempts to the free list,
@@ -736,10 +850,10 @@ func (t *TaskTracker) speculate() {
 			continue
 		}
 		g := t.groups[groupKey{task.spec.Handle, task.spec.Group}]
-		if g == nil || len(g.rates) < t.spec.MinCompleted {
+		if g == nil || g.rates.n() < t.spec.MinCompleted {
 			continue
 		}
-		medianRate, medianDur := median(g.rates), median(g.durs)
+		medianRate, medianDur := g.rates.median(), g.durs.median()
 		for _, a := range task.attempts {
 			if !a.started || a.finished {
 				continue
@@ -846,7 +960,9 @@ func (t *TaskTracker) preempt() {
 }
 
 // median returns the lower-middle element — deterministic and robust for
-// the small samples the monitor sees.
+// the small samples the monitor sees. The incremental runningMedian
+// replaced it on the tick path; it remains as the reference the
+// equivalence test checks runningMedian against.
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

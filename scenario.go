@@ -224,6 +224,28 @@ type timedEvent struct {
 	ev Event
 }
 
+// closedLoop is one declared think-time user population (ClosedLoopUsers):
+// each simulated user submits a job, waits for it to complete, thinks for
+// an exponentially distributed pause, and submits the next — the
+// interactive complement to open-loop Poisson arrivals. Think gaps are
+// pre-drawn at declaration time from the seed, so the trace is a pure
+// function of the scenario description.
+type closedLoop struct {
+	tenant      string
+	users       int
+	jobsPerUser int
+	gaps        [][]float64 // [user][k] think pause before the user's k-th job
+	mk          func(user, k int) Job
+}
+
+// chainKey locates one in-flight closed-loop job: which population, which
+// user, and which request index, so its completion can admit the next.
+type chainKey struct {
+	cl   *closedLoop
+	user int
+	k    int
+}
+
 // Scenario is a declarative multi-tenant run description. Build it with
 // NewScenario and the functional options, then call Run.
 type Scenario struct {
@@ -237,8 +259,10 @@ type Scenario struct {
 	tenants  []*scenarioTenant
 	byName   map[string]*scenarioTenant
 	arrivals []Arrival
+	closed   []*closedLoop
 	events   []timedEvent
 	monCfg   *dfs.MonitorConfig
+	stream   bool
 	err      error
 }
 
@@ -347,6 +371,44 @@ func PoissonArrivals(tenant string, rate float64, n int, seed int64, mk func(i i
 	}
 }
 
+// ClosedLoopUsers declares a think-time user population for tenant: users
+// simulated users each submit jobsPerUser jobs, one at a time, pausing an
+// exponentially distributed think time (mean thinkMean simulated seconds)
+// before each submission — including an initial pause, so the population
+// ramps in rather than stampeding at t=0. A user's next job is admitted
+// only after its previous one completes, which makes the offered load
+// self-limiting under saturation, the closed-loop complement to
+// PoissonArrivals. mk builds user's k-th job (both 0-based); think gaps
+// are pre-drawn from seed at declaration time, so the same scenario
+// reproduces the same trace bit for bit.
+func ClosedLoopUsers(tenant string, users, jobsPerUser int, thinkMean float64, seed int64, mk func(user, k int) Job) ScenarioOption {
+	return func(s *Scenario) {
+		if users <= 0 || jobsPerUser <= 0 {
+			s.fail(fmt.Errorf("datampi: ClosedLoopUsers needs positive users and jobsPerUser, got %d and %d", users, jobsPerUser))
+			return
+		}
+		if thinkMean <= 0 {
+			s.fail(fmt.Errorf("datampi: ClosedLoopUsers think time must be positive, got %v", thinkMean))
+			return
+		}
+		if mk == nil {
+			s.fail(fmt.Errorf("datampi: ClosedLoopUsers needs a job builder"))
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		gaps := make([][]float64, users)
+		for u := range gaps {
+			gaps[u] = make([]float64, jobsPerUser)
+			for k := range gaps[u] {
+				gaps[u][k] = -math.Log(1-rng.Float64()) * thinkMean
+			}
+		}
+		s.closed = append(s.closed, &closedLoop{
+			tenant: tenant, users: users, jobsPerUser: jobsPerUser, gaps: gaps, mk: mk,
+		})
+	}
+}
+
 // At schedules a timed perturbation at scenario-relative time t. Events
 // at or before time zero apply before the first admission (the imperative
 // "configure the cluster before Run" idiom); later events fire on the sim
@@ -390,6 +452,18 @@ func WithLocalitySlack(slack float64) ScenarioOption {
 // (see dfs.MonitorConfig); Report.Recovery carries the recovery counters.
 func WithReplicationMonitor(cfg ReplicationMonitorConfig) ScenarioOption {
 	return func(s *Scenario) { s.monCfg = &cfg }
+}
+
+// WithStreamingReport keeps the run's memory proportional to queued and
+// running jobs instead of the whole trace: each submission's response
+// time, slot-seconds and outcome fold into per-tenant aggregates the
+// moment it completes, and the submission — with its scheduling state —
+// is then discarded. The report carries everything except the per-job
+// list (Report.Jobs stays empty; Report.Submitted still counts the
+// trace). Use it for datacenter-scale traces where a per-job row per
+// submission is itself the memory bottleneck.
+func WithStreamingReport() ScenarioOption {
+	return func(s *Scenario) { s.stream = true }
 }
 
 // WithFidelity pins the simulation-kernel fidelity the scenario's timings
@@ -443,8 +517,12 @@ type RecoveryStats struct {
 // Report is a completed scenario's structured outcome.
 type Report struct {
 	// Jobs lists every admitted job in admission order (arrival time,
-	// declaration order on ties).
+	// declaration order on ties). Empty under WithStreamingReport, where
+	// per-job rows are folded into the tenant aggregates as jobs complete.
 	Jobs []JobReport
+	// Submitted counts every job the scenario admitted, including the
+	// ones a streaming report discarded after aggregation.
+	Submitted int
 	// Tenants aggregates per-tenant latency and slot shares, in
 	// declaration order.
 	Tenants []TenantReport
@@ -502,7 +580,7 @@ func (r *Report) Render() string {
 		span = 0 // no job recorded an end time (e.g. everything deadlocked)
 	}
 	fmt.Fprintf(&b, "jobs %d, span %.0fs (first arrival %.0fs, last completion %.0fs), makespan %.0fs\n",
-		len(r.Jobs), span, r.Start, r.End, r.Makespan)
+		r.Submitted, span, r.Start, r.End, r.Makespan)
 	st := r.Tracker
 	fmt.Fprintf(&b, "tracker: %d tasks, %d backups (%d wins), %d kills, %d preemptions, %d retries\n",
 		st.Tasks, st.Backups, st.BackupWins, st.Kills, st.Preemptions, st.Retries)
@@ -523,7 +601,7 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	if len(s.arrivals) == 0 {
+	if len(s.arrivals) == 0 && len(s.closed) == 0 {
 		return nil, fmt.Errorf("datampi: scenario has no arrivals")
 	}
 	if s.fidSet && s.tb.Cluster.Eng.Fidelity() != s.fid {
@@ -550,6 +628,11 @@ func (s *Scenario) Run() (*Report, error) {
 			return nil, fmt.Errorf("datampi: tenant %s's engine runs on a different testbed", t.name)
 		}
 	}
+	for _, cl := range s.closed {
+		if _, ok := s.byName[cl.tenant]; !ok {
+			return nil, fmt.Errorf("datampi: ClosedLoopUsers references undeclared tenant %q", cl.tenant)
+		}
+	}
 	for _, te := range s.events {
 		if te.ev.validate == nil {
 			continue
@@ -573,6 +656,88 @@ func (s *Scenario) Run() (*Report, error) {
 	q.SetLocalitySlack(s.slack)
 	rc := &runCtx{tb: s.tb, q: q, start: runStart, slow: make(map[int]float64)}
 
+	// admitAbs admits one job at an absolute simulated time under its
+	// tenant's weight and slack — shared by the trace admissions below and
+	// by closed-loop chaining mid-run.
+	admitAbs := func(tenant string, at float64, j Job) *sched.Submission {
+		t := s.byName[tenant]
+		if t.slackSet {
+			q.SetLocalitySlack(t.slack)
+		}
+		sub := q.Admit(tenant, at, t.weight, t.eng, j)
+		if t.slackSet {
+			q.SetLocalitySlack(s.slack)
+		}
+		return sub
+	}
+
+	// Closed-loop chaining and streaming aggregation both hook job
+	// completion; one dispatcher serves both.
+	type tenantAgg struct {
+		jobs, failed int
+		sk           metrics.Sketch
+		slotSec      float64
+	}
+	var (
+		chain     map[*sched.Submission]chainKey
+		aggs      map[string]*tenantAgg
+		streamErr error
+		firstArr  = math.Inf(1) // min arrival, scenario-relative
+		lastEnd   = 0.0         // max completion, scenario-relative
+		slotTotal = 0.0
+	)
+	if len(s.closed) > 0 {
+		chain = make(map[*sched.Submission]chainKey)
+	}
+	if s.stream {
+		aggs = make(map[string]*tenantAgg)
+	}
+	if len(s.closed) > 0 || s.stream {
+		q.OnComplete(func(sub *sched.Submission) {
+			if ck, ok := chain[sub]; ok {
+				delete(chain, sub)
+				if k := ck.k + 1; k < ck.cl.jobsPerUser {
+					j := ck.cl.mk(ck.user, k)
+					if j.FS == nil || j.FS.Cluster() != s.tb.Cluster {
+						rc.notes = append(rc.notes, fmt.Sprintf(
+							"closed-loop tenant %s user %d job %d is staged off-testbed; user's chain stopped",
+							ck.cl.tenant, ck.user, k))
+					} else {
+						nsub := admitAbs(ck.cl.tenant, eng.Now()+ck.cl.gaps[ck.user][k], j)
+						chain[nsub] = chainKey{cl: ck.cl, user: ck.user, k: k}
+					}
+				}
+			}
+			if aggs == nil {
+				return
+			}
+			agg := aggs[sub.Tenant()]
+			if agg == nil {
+				agg = &tenantAgg{}
+				aggs[sub.Tenant()] = agg
+			}
+			res := sub.Result()
+			agg.jobs++
+			if res.Err != nil {
+				agg.failed++
+				if streamErr == nil {
+					streamErr = fmt.Errorf("datampi: scenario job %s (%s): %w", res.Job, sub.Tenant(), res.Err)
+				}
+			} else {
+				agg.sk.Add(res.End - sub.Arrival())
+			}
+			if end := res.End - runStart; res.End > 0 && end > lastEnd {
+				lastEnd = end
+			}
+			slot := q.SlotSeconds(sub)
+			agg.slotSec += slot
+			slotTotal += slot
+		})
+	}
+	if s.stream {
+		q.DiscardSettled(true)
+	}
+
 	// Events due at or before the start apply now, before the first
 	// admission — the imperative "perturb before Run" pattern the golden
 	// compatibility pins rely on.
@@ -591,19 +756,34 @@ func (s *Scenario) Run() (*Report, error) {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(i, j int) bool { return s.arrivals[order[i]].At < s.arrivals[order[j]].At })
-	subs := make([]*sched.Submission, len(order))
 	arrs := make([]Arrival, len(order))
 	for oi, ai := range order {
 		a := s.arrivals[ai]
-		t := s.byName[a.Tenant]
-		if t.slackSet {
-			q.SetLocalitySlack(t.slack)
-		}
-		subs[oi] = q.Admit(a.Tenant, runStart+a.At, t.weight, t.eng, a.Job)
-		if t.slackSet {
-			q.SetLocalitySlack(s.slack)
-		}
+		admitAbs(a.Tenant, runStart+a.At, a.Job)
 		arrs[oi] = a
+		if a.At < firstArr {
+			firstArr = a.At
+		}
+	}
+
+	// Closed-loop users enter after the declared trace: each user's first
+	// job arrives after its initial think pause, and every completion
+	// chains the next admission through the dispatcher above.
+	for _, cl := range s.closed {
+		for u := 0; u < cl.users; u++ {
+			j := cl.mk(u, 0)
+			if j.FS == nil {
+				return nil, fmt.Errorf("datampi: closed-loop tenant %s user %d first job has no filesystem; build jobs with the workload constructors", cl.tenant, u)
+			}
+			if j.FS.Cluster() != s.tb.Cluster {
+				return nil, fmt.Errorf("datampi: closed-loop tenant %s user %d first job is staged on a different testbed", cl.tenant, u)
+			}
+			sub := admitAbs(cl.tenant, runStart+cl.gaps[u][0], j)
+			chain[sub] = chainKey{cl: cl, user: u, k: 0}
+			if cl.gaps[u][0] < firstArr {
+				firstArr = cl.gaps[u][0]
+			}
+		}
 	}
 
 	// Later events fire on the queue's timeline.
@@ -617,7 +797,7 @@ func (s *Scenario) Run() (*Report, error) {
 	results := q.Run()
 	makespan := eng.Now() - runStart
 
-	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes}
+	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted()}
 	rep.Recovery.TasksRecomputed = rep.Tracker.Recomputes
 	if mon != nil {
 		mon.Stop()
@@ -630,42 +810,87 @@ func (s *Scenario) Run() (*Report, error) {
 	for _, te := range q.Timeline() {
 		rep.Timeline = append(rep.Timeline, TimelineEntry{T: te.T - runStart, Name: te.Name})
 	}
+
+	if s.stream {
+		// Per-tenant aggregates were folded as jobs completed; only jobs
+		// that never finished (a simulation deadlock) are still live and
+		// unaggregated.
+		for _, sub := range q.Submissions() {
+			if sub.Done() {
+				continue
+			}
+			agg := aggs[sub.Tenant()]
+			if agg == nil {
+				agg = &tenantAgg{}
+				aggs[sub.Tenant()] = agg
+			}
+			agg.jobs++
+			agg.failed++
+			if err := sub.Result().Err; err != nil && streamErr == nil {
+				streamErr = fmt.Errorf("datampi: scenario job %s (%s): %w", sub.Name(), sub.Tenant(), err)
+			}
+		}
+		for _, t := range s.tenants {
+			tr := TenantReport{Name: t.name, Weight: t.weight}
+			if agg := aggs[t.name]; agg != nil {
+				tr.Response = agg.sk.Dist()
+				tr.Jobs = agg.jobs
+				tr.Failed = agg.failed
+				tr.SlotSeconds = agg.slotSec
+			}
+			if slotTotal > 0 {
+				tr.SlotShare = tr.SlotSeconds / slotTotal
+			}
+			rep.Tenants = append(rep.Tenants, tr)
+		}
+		if !math.IsInf(firstArr, 1) {
+			rep.Start = firstArr
+		}
+		rep.End = lastEnd
+		return rep, streamErr
+	}
+
 	// Per-tenant response times stream into constant-space sketches: a
 	// long trace no longer pins a float64 per completed job. Small
 	// tenants (up to the sketch's exact-buffer size) summarize
 	// bit-identically to the old slice-and-sort aggregation.
+	subs := q.Submissions()
 	perTenant := make(map[string]*metrics.Sketch)
-	slotTotal := 0.0
-	first, last := math.Inf(1), 0.0
 	for i, res := range results {
-		a := arrs[i]
-		slotSec := q.SlotSeconds(subs[i])
-		jr := JobReport{Tenant: a.Tenant, Arrival: a.At, SlotSeconds: slotSec, Result: res}
+		sub := subs[i]
+		// Declared arrivals keep their trace-relative times; closed-loop
+		// jobs admitted mid-run recover theirs from the submission.
+		arrRel := sub.Arrival() - runStart
+		if i < len(arrs) {
+			arrRel = arrs[i].At
+		}
+		slotSec := q.SlotSeconds(sub)
+		jr := JobReport{Tenant: sub.Tenant(), Arrival: arrRel, SlotSeconds: slotSec, Result: res}
 		if res.Err == nil {
-			jr.Response = (res.End - runStart) - a.At
-			sk := perTenant[a.Tenant]
+			jr.Response = (res.End - runStart) - arrRel
+			sk := perTenant[jr.Tenant]
 			if sk == nil {
 				sk = &metrics.Sketch{}
-				perTenant[a.Tenant] = sk
+				perTenant[jr.Tenant] = sk
 			}
 			sk.Add(jr.Response)
 		}
 		// Failed jobs count toward the completion horizon too, as long as
 		// the engine recorded when they ended (a deadlocked job has no
 		// end time and is excluded).
-		if end := res.End - runStart; res.End > 0 && end > last {
-			last = end
+		if end := res.End - runStart; res.End > 0 && end > lastEnd {
+			lastEnd = end
 		}
-		if a.At < first {
-			first = a.At
+		if arrRel < firstArr {
+			firstArr = arrRel
 		}
 		slotTotal += slotSec
 		rep.Jobs = append(rep.Jobs, jr)
 	}
-	if !math.IsInf(first, 1) {
-		rep.Start = first
+	if !math.IsInf(firstArr, 1) {
+		rep.Start = firstArr
 	}
-	rep.End = last
+	rep.End = lastEnd
 	for _, t := range s.tenants {
 		tr := TenantReport{Name: t.name, Weight: t.weight}
 		if sk := perTenant[t.name]; sk != nil {

@@ -1,0 +1,80 @@
+// Hard allocation-regression guard for the O(active) scheduling layer:
+// the queuechurn trace's allocations are deterministic (stub engine,
+// seeded arrivals, discard-mode queue), so per-job cost drifting beyond
+// the baseline recorded in BENCH_sched.json — or growing with the
+// submitted-job count — means queue, pool or tracker state stopped
+// being proportional to active jobs. CI runs this as a failing gate,
+// mirroring TestKernelScaleAllocGuard.
+package datampi_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/datampi/datampi-go/internal/harness"
+)
+
+// schedChurnBaseline mirrors the "queuechurn" entry of BENCH_sched.json.
+type schedChurnBaseline struct {
+	QueueChurn struct {
+		Small struct {
+			BytesPerJob  float64 `json:"bytes_per_job"`
+			AllocsPerJob float64 `json:"allocs_per_job"`
+		} `json:"small"`
+		Large struct {
+			BytesPerJob  float64 `json:"bytes_per_job"`
+			AllocsPerJob float64 `json:"allocs_per_job"`
+		} `json:"large"`
+	} `json:"queuechurn"`
+}
+
+func TestQueueChurnAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard runs the queuechurn benchmark; skipped in -short")
+	}
+	raw, err := os.ReadFile("BENCH_sched.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base schedChurnBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing BENCH_sched.json: %v", err)
+	}
+	if base.QueueChurn.Large.BytesPerJob <= 0 || base.QueueChurn.Large.AllocsPerJob <= 0 {
+		t.Fatal("BENCH_sched.json has no queuechurn baseline")
+	}
+
+	small, err := harness.QueueChurn(queueChurnBenchSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := harness.QueueChurn(queueChurnBenchLarge, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("queuechurn: %d jobs %.0f B/job %.1f allocs/job; %d jobs %.0f B/job %.1f allocs/job",
+		small.Jobs, small.BytesPerJob(), small.AllocsPerJob(),
+		large.Jobs, large.BytesPerJob(), large.AllocsPerJob())
+
+	// Absolute drift against the recorded baseline (+10%).
+	if got, limit := large.BytesPerJob(), base.QueueChurn.Large.BytesPerJob*1.10; got > limit {
+		t.Errorf("bytes/job regression at %d jobs: %.0f, more than 10%% over the %.0f baseline",
+			large.Jobs, got, base.QueueChurn.Large.BytesPerJob)
+	}
+	if got, limit := large.AllocsPerJob(), base.QueueChurn.Large.AllocsPerJob*1.10; got > limit {
+		t.Errorf("allocs/job regression at %d jobs: %.1f, more than 10%% over the %.1f baseline",
+			large.Jobs, got, base.QueueChurn.Large.AllocsPerJob)
+	}
+
+	// Flatness across scale (the O(active) claim itself): per-job cost
+	// must not grow more than 10% when the submitted count quadruples.
+	if growth := large.BytesPerJob() / small.BytesPerJob(); growth > 1.10 {
+		t.Errorf("bytes/job grew %.2fx from %d to %d jobs — queue/tracker state is scaling with submitted jobs",
+			growth, small.Jobs, large.Jobs)
+	}
+	if growth := large.AllocsPerJob() / small.AllocsPerJob(); growth > 1.10 {
+		t.Errorf("allocs/job grew %.2fx from %d to %d jobs — queue/tracker state is scaling with submitted jobs",
+			growth, small.Jobs, large.Jobs)
+	}
+}
