@@ -1,0 +1,245 @@
+package datampi_test
+
+import (
+	"strings"
+	"testing"
+
+	datampi "github.com/datampi/datampi-go"
+)
+
+// rackTestbed builds the correlated-failure rig: 8 nodes in 4 racks, so
+// rack-aware placement and RackDown have real failure domains to work with.
+func rackTestbed(t *testing.T, replication int) *datampi.Testbed {
+	t.Helper()
+	return datampi.NewTestbed(datampi.TestbedConfig{
+		Racks: 4, Replication: replication, Scale: 8192, Seed: 3,
+	})
+}
+
+// TestScenarioRackFailureAllEngines kills a whole rack mid-job and revives
+// it later: with rack-aware placement at replication 3 no block loses all
+// replicas, every engine recovers, and the output is byte-identical to the
+// clean run. The rejoin reconciliation must also show up in the report —
+// repairs the monitor completed while the rack was dark leave stale
+// replicas on the returning nodes, which the rejoin prunes.
+func TestScenarioRackFailureAllEngines(t *testing.T) {
+	for name, mk := range faultEngines() {
+		run := func(rackAt float64) (*datampi.Report, []string, *datampi.Testbed) {
+			tb := rackTestbed(t, 3)
+			in := tb.GenerateText("/in", 8*datampi.GB, 1)
+			opts := []datampi.ScenarioOption{
+				datampi.Tenant("jobs", 1, mk(tb)),
+				datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/out", 32)),
+				datampi.WithReplicationMonitor(datampi.ReplicationMonitorConfig{}),
+			}
+			if rackAt >= 0 {
+				opts = append(opts,
+					datampi.At(rackAt, datampi.RackDown(3)),
+					datampi.At(rackAt+45, datampi.RackUp(3)))
+			}
+			rep, err := datampi.NewScenario(tb, opts...).Run()
+			if err != nil {
+				t.Fatalf("%s rackAt=%v: %v", name, rackAt, err)
+			}
+			return rep, sortedOutput(tb.FS, "/out"), tb
+		}
+		clean, cleanOut, _ := run(-1)
+		rackAt := 0.45 * clean.Jobs[0].Result.Elapsed
+		rep, out, tb := run(rackAt)
+		if len(out) != len(cleanOut) {
+			t.Fatalf("%s: %d output records after rack failure, clean run had %d", name, len(out), len(cleanOut))
+		}
+		for i := range out {
+			if out[i] != cleanOut[i] {
+				t.Fatalf("%s: output record %d differs after rack recovery", name, i)
+			}
+		}
+		assertNoTempFiles(t, name, tb.FS)
+		if rep.Recovery.BytesLost > 0 {
+			t.Fatalf("%s: rack failure lost data at replication 3: %+v", name, rep.Recovery)
+		}
+		if rep.Tracker.Kills == 0 && rep.Tracker.Retries == 0 && rep.Recovery.TasksRecomputed == 0 {
+			t.Fatalf("%s: rack failure at t=%.0f exercised no recovery: %+v", name, rackAt, rep.Tracker)
+		}
+		if rep.Recovery.StaleReplicasPruned == 0 && rep.Recovery.RepairsCancelled == 0 {
+			t.Fatalf("%s: rejoin reconciled nothing (no stale prune, no cancelled repair): %+v", name, rep.Recovery)
+		}
+	}
+}
+
+// TestScenarioFlapBeatsDetectionDelay bounces a node with down intervals
+// shorter than the monitor's detection delay: the monitor must not copy
+// anything (the rejoins land first), the job still finishes with clean
+// output, and the flap timeline is recorded.
+func TestScenarioFlapBeatsDetectionDelay(t *testing.T) {
+	tb := rackTestbed(t, 3)
+	in := tb.GenerateText("/in", 4*datampi.GB, 1)
+	eng := datampi.NewHadoop(tb.FS)
+	clean, err := datampi.NewScenario(tb,
+		datampi.Tenant("jobs", 1, eng),
+		datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/clean", 16)),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0.3 * clean.Jobs[0].Result.Elapsed
+	rep, err := datampi.NewScenario(tb,
+		datampi.Tenant("jobs", 1, eng),
+		datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/out", 16)),
+		datampi.WithReplicationMonitor(datampi.ReplicationMonitorConfig{DetectionDelay: 8}),
+		datampi.At(at, datampi.Flap(7, 3, 20, 2)),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovery.BlocksRereplicated != 0 {
+		t.Fatalf("flap shorter than the detection delay still re-replicated %d blocks", rep.Recovery.BlocksRereplicated)
+	}
+	if rep.Recovery.BytesLost > 0 {
+		t.Fatalf("flap lost data: %+v", rep.Recovery)
+	}
+	want := sortedOutput(tb.FS, "/clean")
+	got := sortedOutput(tb.FS, "/out")
+	if len(got) != len(want) {
+		t.Fatalf("flapped run wrote %d records, clean wrote %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output record %d differs after the flap", i)
+		}
+	}
+	sawFlap := false
+	for _, te := range rep.Timeline {
+		if strings.HasPrefix(te.Name, "flap-node-7") {
+			sawFlap = true
+		}
+	}
+	if !sawFlap {
+		t.Fatalf("flap missing from the timeline: %+v", rep.Timeline)
+	}
+}
+
+// TestFaultPlanDeterministic: the same (seed, rate, n) plan on the same
+// testbed must reproduce the same timeline and the same report, bit for
+// bit; a different seed must produce a different plan.
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func(seed int64) (*datampi.Report, string) {
+		tb := rackTestbed(t, 3)
+		in := tb.GenerateText("/in", 4*datampi.GB, 1)
+		rep, err := datampi.NewScenario(tb,
+			datampi.Tenant("jobs", 1, datampi.NewHadoop(tb.FS)),
+			datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/out", 16)),
+			datampi.WithReplicationMonitor(datampi.ReplicationMonitorConfig{}),
+			datampi.FaultPlan(seed, 0.01, 3),
+		).Run()
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		return rep, strings.Join(sortedOutput(tb.FS, "/out"), "\n")
+	}
+	repA, outA := run(42)
+	repB, outB := run(42)
+	if repA.Render() != repB.Render() {
+		t.Fatalf("same FaultPlan seed rendered differently:\n--- A ---\n%s--- B ---\n%s", repA.Render(), repB.Render())
+	}
+	if outA != outB {
+		t.Fatal("same FaultPlan seed produced different output bytes")
+	}
+	if len(repA.Timeline) == 0 {
+		t.Fatal("FaultPlan injected no events")
+	}
+	repC, _ := run(43)
+	same := len(repC.Timeline) == len(repA.Timeline)
+	if same {
+		for i := range repA.Timeline {
+			if repA.Timeline[i] != repC.Timeline[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different FaultPlan seeds produced identical timelines")
+	}
+}
+
+// TestScenarioReplicationOneLosesData: at replication 1 a node failure is
+// unsurvivable for the blocks it held — the run must terminate (complete
+// or fail permanently, never deadlock) and report the loss.
+func TestScenarioReplicationOneLosesData(t *testing.T) {
+	tb := datampi.NewTestbed(datampi.TestbedConfig{Replication: 1, Scale: 8192, Seed: 3})
+	in := tb.GenerateText("/in", 4*datampi.GB, 1)
+	rep, err := datampi.NewScenario(tb,
+		datampi.Tenant("jobs", 1, datampi.NewHadoop(tb.FS)),
+		datampi.Arrive("jobs", 0, datampi.TextSort(tb.FS, in, "/out", 16)),
+		datampi.WithReplicationMonitor(datampi.ReplicationMonitorConfig{}),
+		datampi.At(20, datampi.NodeDown(5)),
+	).Run()
+	// The job may fail (input blocks gone) — but the scenario must settle
+	// and account for the loss either way.
+	if rep == nil {
+		t.Fatalf("no report: %v", err)
+	}
+	if rep.Recovery.BytesLost == 0 {
+		t.Fatalf("replication-1 node failure reported no data loss: %+v", rep.Recovery)
+	}
+	if rep.Jobs[0].Result.End == 0 && rep.Jobs[0].Result.Err == nil {
+		t.Fatal("job neither completed nor failed — deadlocked")
+	}
+}
+
+// TestScenarioNodeUpMissNoted: reviving a node that is not down must be a
+// recorded no-op, not a crash or a silent lie in the timeline.
+func TestScenarioNodeUpMissNoted(t *testing.T) {
+	tb, eng, mk := scenarioRig(t)
+	rep, err := datampi.NewScenario(tb,
+		datampi.Tenant("a", 1, eng),
+		datampi.Arrive("a", 0, mk("/out/up-")(0)),
+		datampi.At(5, datampi.NodeUp(3)),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "node-up-3") && strings.Contains(n, "not down") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vacuous NodeUp not noted: %+v", rep.Notes)
+	}
+}
+
+// TestCorrelatedEventValidation covers the new events' Run-time checks.
+func TestCorrelatedEventValidation(t *testing.T) {
+	tb, eng, mk := scenarioRig(t) // single-rack testbed
+	if _, err := datampi.NewScenario(tb,
+		datampi.Tenant("a", 1, eng),
+		datampi.Arrive("a", 0, mk("/out/v1-")(0)),
+		datampi.At(10, datampi.RackDown(1)), // only rack 0 exists
+	).Run(); err == nil || !strings.Contains(err.Error(), "rack 1 out of range") {
+		t.Fatalf("out-of-range rack not caught: %v", err)
+	}
+	if _, err := datampi.NewScenario(tb,
+		datampi.Tenant("a", 1, eng),
+		datampi.Arrive("a", 0, mk("/out/v2-")(0)),
+		datampi.At(10, datampi.Flap(0, 30, 10, 2)), // downFor >= period
+	).Run(); err == nil || !strings.Contains(err.Error(), "shorter than period") {
+		t.Fatalf("inverted flap timing not caught: %v", err)
+	}
+	if _, err := datampi.NewScenario(tb,
+		datampi.Tenant("a", 1, eng),
+		datampi.Arrive("a", 0, mk("/out/v3-")(0)),
+		datampi.FaultPlan(1, 0.01, 2, datampi.FaultRackDown), // single rack
+	).Run(); err == nil || !strings.Contains(err.Error(), "multi-rack") {
+		t.Fatalf("rack-only FaultPlan on a flat testbed not caught: %v", err)
+	}
+	if _, err := datampi.NewScenario(tb,
+		datampi.Tenant("a", 1, eng),
+		datampi.Arrive("a", 0, mk("/out/v4-")(0)),
+		datampi.FaultPlan(1, -1, 2),
+	).Run(); err == nil || !strings.Contains(err.Error(), "rate") {
+		t.Fatalf("non-positive FaultPlan rate not caught: %v", err)
+	}
+}

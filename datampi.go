@@ -135,6 +135,11 @@ const (
 type TestbedConfig struct {
 	// Nodes is the cluster size (default 8, the paper's testbed).
 	Nodes int
+	// Racks splits the nodes across failure domains for correlated-failure
+	// scenarios (RackDown, rack-aware replica placement and retry
+	// placement). Zero or 1 keeps the default flat single-rack topology;
+	// otherwise Racks must divide Nodes evenly.
+	Racks int
 	// BlockSize is the DFS block size in nominal bytes (default 256 MB,
 	// the paper's tuned value).
 	BlockSize float64
@@ -165,6 +170,9 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 	if tc.Nodes > 0 {
 		hw.Nodes = tc.Nodes
 	}
+	if tc.Racks > 1 {
+		hw.Topology = cluster.Topology{Racks: tc.Racks}
+	}
 	c := cluster.NewWith(hw, tc.Fidelity)
 	cfg := dfs.DefaultConfig()
 	if tc.BlockSize > 0 {
@@ -193,6 +201,15 @@ func NewTestbed(tc TestbedConfig) *Testbed {
 // as the imperative layer the Scenario API drives.
 func (t *Testbed) NewQueue(policy Policy) *Queue {
 	q := sched.NewQueue(t.Cluster.Eng, t.Cluster.N(), policy)
+	if t.Cluster.Racks() > 1 {
+		// Rack-aware retry placement: after a failure the tracker prefers
+		// backup nodes outside the racks the task already failed in.
+		rackOf := make([]int, t.Cluster.N())
+		for i := range rackOf {
+			rackOf[i] = t.Cluster.RackOf(i)
+		}
+		q.SetTopology(rackOf)
+	}
 	// Nodes the testbed already recorded as failed stay excluded from
 	// task placement in the new queue.
 	for i := 0; i < t.Cluster.N(); i++ {

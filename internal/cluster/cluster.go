@@ -21,21 +21,31 @@ const (
 	GB = 1 << 30
 )
 
+// Topology arranges the nodes into racks for correlated-failure
+// scenarios. The zero value means a single rack spanning every node —
+// the paper's testbed, one switch — so existing configurations are
+// unchanged. Node i lives in rack i/NodesPerRack.
+type Topology struct {
+	Racks        int // number of racks; 0 or 1 = single rack
+	NodesPerRack int // nodes per rack; 0 derives Nodes/Racks (must divide evenly)
+}
+
 // Hardware describes one node's physical resources and the interconnect,
 // mirroring the paper's Table 2.
 type Hardware struct {
-	Nodes         int     // cluster size
-	CPUModel      string  // descriptive only
-	Cores         int     // physical cores per node
-	ThreadsPerCor int     // hyper-threads per core
-	ClockGHz      float64 // descriptive only
-	L1KB, L2KB    int     // descriptive only
-	L3MB          int     // descriptive only
-	MemoryBytes   float64 // RAM per node
-	DiskBytes     float64 // free disk space per node
-	DiskReadBW    float64 // sequential read, bytes/sec
-	DiskWriteBW   float64 // sequential write, bytes/sec
-	NetLinkBW     float64 // per-direction link bandwidth, bytes/sec
+	Nodes         int      // cluster size
+	Topology      Topology // rack layout; zero value = one rack
+	CPUModel      string   // descriptive only
+	Cores         int      // physical cores per node
+	ThreadsPerCor int      // hyper-threads per core
+	ClockGHz      float64  // descriptive only
+	L1KB, L2KB    int      // descriptive only
+	L3MB          int      // descriptive only
+	MemoryBytes   float64  // RAM per node
+	DiskBytes     float64  // free disk space per node
+	DiskReadBW    float64  // sequential read, bytes/sec
+	DiskWriteBW   float64  // sequential write, bytes/sec
+	NetLinkBW     float64  // per-direction link bandwidth, bytes/sec
 }
 
 // DefaultHardware returns the paper's testbed configuration. The disk and
@@ -75,6 +85,8 @@ type Cluster struct {
 	Nodes []*Node
 	Net   *sim.Fabric
 	down  []bool
+	racks int // >= 1
+	npr   int // nodes per rack
 }
 
 // New builds a cluster on a fresh simulation engine with the default
@@ -99,7 +111,8 @@ func NewOn(eng *sim.Engine, hw Hardware) *Cluster {
 	if hw.Nodes <= 0 {
 		panic("cluster: need at least one node")
 	}
-	c := &Cluster{Eng: eng, HW: hw, down: make([]bool, hw.Nodes)}
+	racks, npr := normalizeTopology(hw.Topology, hw.Nodes)
+	c := &Cluster{Eng: eng, HW: hw, down: make([]bool, hw.Nodes), racks: racks, npr: npr}
 	c.Net = sim.NewFabric(eng, hw.Nodes, hw.NetLinkBW)
 	for i := 0; i < hw.Nodes; i++ {
 		// Disk capacity is the blended sequential bandwidth; reads and
@@ -157,6 +170,60 @@ func (c *Cluster) NodeUp(i int) { c.down[i] = false }
 
 // Alive reports whether node i has not been marked down.
 func (c *Cluster) Alive(i int) bool { return !c.down[i] }
+
+// normalizeTopology validates a Topology against the node count and
+// resolves the zero-value defaults.
+func normalizeTopology(t Topology, nodes int) (racks, npr int) {
+	if t.Racks <= 1 {
+		return 1, nodes
+	}
+	racks = t.Racks
+	npr = t.NodesPerRack
+	if npr <= 0 {
+		if nodes%racks != 0 {
+			panic(fmt.Sprintf("cluster: %d nodes do not divide into %d racks; set NodesPerRack explicitly", nodes, racks))
+		}
+		npr = nodes / racks
+	}
+	if racks*npr != nodes {
+		panic(fmt.Sprintf("cluster: topology %d racks x %d nodes/rack != %d nodes", racks, npr, nodes))
+	}
+	return racks, npr
+}
+
+// Racks returns the number of racks (1 for the default flat topology).
+func (c *Cluster) Racks() int { return c.racks }
+
+// RackOf returns the rack holding node i.
+func (c *Cluster) RackOf(i int) int { return i / c.npr }
+
+// RackNodes returns the node IDs in rack r, in ascending order.
+func (c *Cluster) RackNodes(r int) []int {
+	if r < 0 || r >= c.racks {
+		panic(fmt.Sprintf("cluster: rack %d out of range [0,%d)", r, c.racks))
+	}
+	nodes := make([]int, 0, c.npr)
+	for i := r * c.npr; i < (r+1)*c.npr && i < len(c.Nodes); i++ {
+		nodes = append(nodes, i)
+	}
+	return nodes
+}
+
+// RackDown marks every node in rack r as failed — a correlated failure
+// (power feed, top-of-rack switch). It fans out to per-node NodeDown
+// events so Alive stays an O(1) per-node lookup.
+func (c *Cluster) RackDown(r int) {
+	for _, i := range c.RackNodes(r) {
+		c.NodeDown(i)
+	}
+}
+
+// RackUp revives every node in rack r.
+func (c *Cluster) RackUp(r int) {
+	for _, i := range c.RackNodes(r) {
+		c.NodeUp(i)
+	}
+}
 
 // TableRows renders the Table 2 hardware description as label/value rows.
 func (h Hardware) TableRows() [][2]string {

@@ -71,6 +71,68 @@ func TestDiskThrashSlowsHighConcurrency(t *testing.T) {
 	}
 }
 
+func TestTopologyRacks(t *testing.T) {
+	hw := DefaultHardware()
+	hw.Topology = Topology{Racks: 4}
+	c := New(hw)
+	if c.Racks() != 4 {
+		t.Fatalf("racks = %d, want 4", c.Racks())
+	}
+	if c.RackOf(0) != 0 || c.RackOf(1) != 0 || c.RackOf(6) != 3 || c.RackOf(7) != 3 {
+		t.Fatalf("rack assignment wrong: %d %d %d %d", c.RackOf(0), c.RackOf(1), c.RackOf(6), c.RackOf(7))
+	}
+	if got := c.RackNodes(3); len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Fatalf("RackNodes(3) = %v, want [6 7]", got)
+	}
+
+	// RackDown fans out to every node in the rack and nothing else; RackUp
+	// restores them.
+	c.RackDown(3)
+	for i := 0; i < c.N(); i++ {
+		if want := i < 6; c.Alive(i) != want {
+			t.Fatalf("after RackDown(3): Alive(%d) = %v", i, c.Alive(i))
+		}
+	}
+	c.RackUp(3)
+	for i := 0; i < c.N(); i++ {
+		if !c.Alive(i) {
+			t.Fatalf("after RackUp(3): node %d still down", i)
+		}
+	}
+}
+
+func TestTopologyDefaultsToSingleRack(t *testing.T) {
+	c := New(DefaultHardware())
+	if c.Racks() != 1 {
+		t.Fatalf("default racks = %d, want 1", c.Racks())
+	}
+	for i := 0; i < c.N(); i++ {
+		if c.RackOf(i) != 0 {
+			t.Fatalf("flat topology put node %d in rack %d", i, c.RackOf(i))
+		}
+	}
+	if got := c.RackNodes(0); len(got) != c.N() {
+		t.Fatalf("RackNodes(0) = %v, want all %d nodes", got, c.N())
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	mustPanic := func(name string, hw Hardware) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: New did not panic", name)
+			}
+		}()
+		New(hw)
+	}
+	bad := DefaultHardware()
+	bad.Topology = Topology{Racks: 3} // 3 does not divide 8
+	mustPanic("non-dividing racks", bad)
+	bad = DefaultHardware()
+	bad.Topology = Topology{Racks: 4, NodesPerRack: 3} // 4*3 != 8
+	mustPanic("inconsistent racks*nodesPerRack", bad)
+}
+
 func TestSharedEngineTimeline(t *testing.T) {
 	eng := sim.NewEngine()
 	c1 := NewOn(eng, DefaultHardware())

@@ -56,11 +56,40 @@ func DefaultConfig() Config {
 }
 
 // Block is one replicated block of a file.
+//
+// Gen is the block's generation stamp, bumped each time the replication
+// monitor re-replicates it while a holder is dead — HDFS's genstamp
+// mechanism. LocGens records the stamp each location last registered
+// at; a location with LocGens[i] < Gen is a stale replica left behind
+// on a node that was down while the block was repaired, and is pruned
+// when that node rejoins. LocGens is nil until the first repair: nil
+// means every location is at the current generation.
 type Block struct {
 	ID        int64
 	Data      []byte  // actual bytes
 	Nominal   float64 // nominal bytes (Data length × Scale)
 	Locations []int   // nodes holding replicas, primary first
+	Gen       int64   // generation stamp
+	LocGens   []int64 // per-location stamps; nil = all current
+}
+
+// ensureGens materializes LocGens at the block's current generation.
+func (b *Block) ensureGens() {
+	if b.LocGens == nil {
+		b.LocGens = make([]int64, len(b.Locations))
+		for i := range b.LocGens {
+			b.LocGens[i] = b.Gen
+		}
+	}
+}
+
+// locGen returns the generation stamp of location index i. Locations
+// beyond the stamped range (widened by hand in tests) count as current.
+func (b *Block) locGen(i int) int64 {
+	if b.LocGens == nil || i >= len(b.LocGens) {
+		return b.Gen
+	}
+	return b.LocGens[i]
 }
 
 // File is an immutable, fully-written file.
@@ -85,6 +114,12 @@ type FS struct {
 	// datanode goes down or comes back — the heartbeat stream the
 	// replication monitor listens to. Unsubscribed slots are nil.
 	nodeSubs []func(node int, down bool)
+
+	// Cumulative rejoin-reconciliation counters (see NodeUp): stale
+	// replicas invalidated on rejoining nodes, and excess live replicas
+	// trimmed from over-replicated blocks.
+	stalePruned  int
+	excessPruned int
 }
 
 // New creates an empty filesystem on the cluster.
@@ -140,6 +175,11 @@ func (fs *FS) stagingWriter() int {
 
 // placeReplicas picks replica nodes for a new block: primary on the writer
 // (HDFS's write-locality rule) and the rest sampled without replacement.
+// On a multi-rack topology the HDFS rack rule applies: the second replica
+// lands in a different rack than the first and the third in the second
+// replica's rack, so any block with replication >= 2 spans >= 2 racks and
+// survives a whole-rack failure. A single rack (the paper's testbed)
+// keeps the original flat sampling bit for bit.
 func (fs *FS) placeReplicas(writer int) []int {
 	n := fs.c.N()
 	locs := make([]int, 0, fs.cfg.Replication)
@@ -148,23 +188,54 @@ func (fs *FS) placeReplicas(writer int) []int {
 		locs = append(locs, writer)
 	}
 	perm := fs.rng.Perm(n)
+	taken := func(cand int) bool {
+		for _, l := range locs {
+			if l == cand {
+				return true
+			}
+		}
+		return false
+	}
+	if fs.c.Racks() > 1 {
+		// pick appends the first permuted live non-duplicate candidate
+		// satisfying ok; with a nil ok any candidate qualifies.
+		pick := func(ok func(cand int) bool) bool {
+			for _, cand := range perm {
+				if !alive(cand) || taken(cand) {
+					continue
+				}
+				if ok != nil && !ok(cand) {
+					continue
+				}
+				locs = append(locs, cand)
+				return true
+			}
+			return false
+		}
+		if len(locs) == 0 {
+			pick(nil)
+		}
+		if len(locs) == 1 && fs.cfg.Replication >= 2 {
+			first := fs.c.RackOf(locs[0])
+			if !pick(func(cand int) bool { return fs.c.RackOf(cand) != first }) {
+				pick(nil) // degraded: only one rack has live nodes
+			}
+		}
+		if len(locs) == 2 && fs.cfg.Replication >= 3 {
+			second := fs.c.RackOf(locs[1])
+			if !pick(func(cand int) bool { return fs.c.RackOf(cand) == second }) {
+				pick(nil)
+			}
+		}
+	}
 	for _, cand := range perm {
 		if len(locs) == fs.cfg.Replication {
 			break
 		}
-		if !alive(cand) {
+		if !alive(cand) || taken(cand) {
 			continue
 		}
-		dup := false
-		for _, l := range locs {
-			if l == cand {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			locs = append(locs, cand)
-		}
+		locs = append(locs, cand)
 	}
 	return locs
 }
@@ -184,20 +255,85 @@ func (fs *FS) NodeDown(i int) {
 	}
 }
 
-// NodeUp revives a node: its replicas serve again (blocks re-replicated in
-// the meantime may end up over-replicated, visible in Fsck). Subscribers
-// are notified.
+// NodeUp revives a node and reconciles its replicas against the namenode
+// metadata, the block-report handshake a rejoining HDFS datanode goes
+// through. Replicas whose generation stamp fell behind the block's (the
+// block was re-replicated while the node was down) are stale and pruned
+// from the rejoining node; blocks left with more live replicas than the
+// replication factor are trimmed back deterministically (highest node
+// index dropped first, so the lowest index is retained last). Both prune
+// counts accumulate into the Fsck report. Subscribers are notified after
+// reconciliation, so the replication monitor sees the reconciled state
+// and can cancel queued repairs the rejoin made unnecessary.
 func (fs *FS) NodeUp(i int) {
 	if !fs.dead[i] {
 		return
 	}
 	delete(fs.dead, i)
+	fs.reconcile(i)
 	for _, fn := range fs.nodeSubs {
 		if fn != nil {
 			fn(i, false)
 		}
 	}
 }
+
+// reconcile processes rejoining node i's block report: prune stale
+// replicas on i, then trim any over-replication its return created.
+func (fs *FS) reconcile(node int) {
+	for _, name := range fs.List() {
+		for _, b := range fs.files[name].Blocks {
+			for idx := 0; idx < len(b.Locations); idx++ {
+				if b.Locations[idx] != node || b.locGen(idx) >= b.Gen {
+					continue
+				}
+				fs.dropLocation(b, idx)
+				fs.stalePruned++
+				idx--
+			}
+			fs.pruneExcess(b)
+		}
+	}
+}
+
+// dropLocation removes location index idx from b, releasing its disk use.
+func (fs *FS) dropLocation(b *Block, idx int) {
+	fs.diskUse[b.Locations[idx]] -= b.Nominal
+	b.Locations = append(b.Locations[:idx], b.Locations[idx+1:]...)
+	if b.LocGens != nil {
+		b.LocGens = append(b.LocGens[:idx], b.LocGens[idx+1:]...)
+	}
+}
+
+// pruneExcess trims live replicas of b beyond the replication factor,
+// dropping the highest-indexed live node first so the lowest node index
+// is retained last. Returns the number of replicas pruned.
+func (fs *FS) pruneExcess(b *Block) int {
+	pruned := 0
+	for {
+		live, victim := 0, -1
+		for idx, loc := range b.Locations {
+			if fs.dead[loc] {
+				continue
+			}
+			live++
+			if victim < 0 || loc > b.Locations[victim] {
+				victim = idx
+			}
+		}
+		if live <= fs.cfg.Replication || victim < 0 {
+			return pruned
+		}
+		fs.dropLocation(b, victim)
+		fs.excessPruned++
+		pruned++
+	}
+}
+
+// PruneStats returns the cumulative rejoin-reconciliation counters:
+// stale replicas invalidated on rejoining nodes and excess replicas
+// trimmed from over-replicated blocks.
+func (fs *FS) PruneStats() (stale, excess int) { return fs.stalePruned, fs.excessPruned }
 
 // NodeAlive reports whether datanode i is serving.
 func (fs *FS) NodeAlive(i int) bool { return !fs.dead[i] }

@@ -15,6 +15,68 @@ func testCluster() *cluster.Cluster {
 	return cluster.New(hw)
 }
 
+// TestRackAwarePlacement: on a multi-rack testbed every block at
+// replication >= 2 must span at least two racks, so a whole-rack failure
+// cannot take out all replicas.
+func TestRackAwarePlacement(t *testing.T) {
+	hw := cluster.DefaultHardware()
+	hw.Topology = cluster.Topology{Racks: 4}
+	c := cluster.New(hw)
+	fs := New(c, Config{BlockSize: 64 * cluster.MB, Replication: 3, Scale: 1, Seed: 1})
+	f := fs.Preload("/a", make([]byte, int(2*cluster.GB)))
+	for bi, b := range f.Blocks {
+		racks := map[int]bool{}
+		for _, loc := range b.Locations {
+			racks[c.RackOf(loc)] = true
+		}
+		if len(racks) < 2 {
+			t.Fatalf("block %d replicas %v all in rack %d", bi, b.Locations, c.RackOf(b.Locations[0]))
+		}
+	}
+	// And a whole-rack failure keeps every block readable.
+	c.RackDown(2)
+	for _, n := range c.RackNodes(2) {
+		fs.NodeDown(n)
+	}
+	if rep := fs.Fsck(); rep.Missing != 0 {
+		t.Fatalf("rack failure lost blocks despite rack-aware placement: %+v", rep)
+	}
+}
+
+// TestRereplicateRestoresRackSpread: repairing after a rack failure picks
+// replacement nodes that restore the two-rack invariant, not just any
+// empty disk.
+func TestRereplicateRestoresRackSpread(t *testing.T) {
+	hw := cluster.DefaultHardware()
+	hw.Topology = cluster.Topology{Racks: 4}
+	c := cluster.New(hw)
+	fs := New(c, Config{BlockSize: 64 * cluster.MB, Replication: 2, Scale: 1, Seed: 1})
+	f := fs.Preload("/a", make([]byte, int(1*cluster.GB)))
+	// Kill rack 0: blocks that held a replica there drop to one rack.
+	for _, n := range c.RackNodes(0) {
+		fs.NodeDown(n)
+	}
+	c.Eng.Go("nn", func(p *sim.Proc) {
+		if _, err := fs.Rereplicate(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range f.Blocks {
+		racks := map[int]bool{}
+		for _, loc := range b.Locations {
+			if fs.NodeAlive(loc) {
+				racks[c.RackOf(loc)] = true
+			}
+		}
+		if len(racks) < 2 {
+			t.Fatalf("block %d live replicas confined to one rack after repair", bi)
+		}
+	}
+}
+
 func TestPreloadAndReadAll(t *testing.T) {
 	c := testCluster()
 	fs := New(c, Config{BlockSize: 64, Replication: 3, Scale: 1, Seed: 1})

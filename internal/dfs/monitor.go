@@ -41,6 +41,7 @@ type MonitorStats struct {
 	BytesRereplicated  float64 // nominal bytes copied
 	BlocksLost         int     // distinct blocks seen with zero live replicas
 	BytesLost          float64 // nominal bytes of those blocks
+	RepairsCancelled   int     // queued repairs obviated by a node rejoin before any copy ran
 }
 
 // ReplicationMonitor re-replicates under-replicated blocks automatically
@@ -80,10 +81,18 @@ func (m *ReplicationMonitor) Stop() {
 
 // nodeEvent is the FS subscription callback (kernel context).
 func (m *ReplicationMonitor) nodeEvent(node int, down bool) {
-	if m.stopped || !down {
-		// Nothing to copy when a node returns; over-replication is
-		// reported by Fsck and left alone, as HDFS's monitor does
-		// (excess replicas are pruned lazily, which we do not model).
+	if m.stopped {
+		return
+	}
+	if !down {
+		// A rejoin arrives after FS.NodeUp has already reconciled the
+		// node's block report (stale and excess replicas pruned). If a
+		// pass is pending or running, have it re-scan: blocks the rejoin
+		// restored to the replication factor drop out of the queue and
+		// are counted as cancelled repairs instead of being copied.
+		if m.active {
+			m.rescan = true
+		}
 		return
 	}
 	if m.active {
@@ -164,6 +173,7 @@ func (m *ReplicationMonitor) scan() []repairItem {
 func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 	fs := m.fs
 	b := it.b
+	copies := 0
 	for {
 		if f, ok := fs.files[it.name]; !ok || !fileHasBlock(f, b) {
 			return // deleted (or replaced) mid-pass: nothing to preserve
@@ -178,6 +188,17 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 			return
 		}
 		if len(live) >= fs.cfg.Replication {
+			// A rejoin mid-copy can push the block over the factor (the
+			// in-flight copy lands after the old holder returned): trim it
+			// back, as the NameNode invalidates the excess it caused.
+			if len(live) > fs.cfg.Replication {
+				fs.pruneExcess(b)
+			}
+			if copies == 0 {
+				// The queue entry was drained without copying anything:
+				// a rejoin (not this monitor) restored the factor.
+				m.stats.RepairsCancelled++
+			}
 			return
 		}
 		// Round-robin the source over live replicas so one surviving disk
@@ -187,6 +208,7 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 		if fs.copyReplica(p, b, src, live) < 0 {
 			return // not enough live nodes to widen further
 		}
+		copies++
 		m.stats.BlocksRereplicated++
 		m.stats.BytesRereplicated += b.Nominal
 		if m.cfg.CopyBandwidth > 0 {

@@ -197,6 +197,76 @@ func TestMonitorChurnWithConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestMonitorFlapWithinDetectionDelay is the flap stress: a node bouncing
+// down-up-down-up inside one detection window must not double-enqueue
+// repairs (one scan pass, zero copies) and must not leak the worker proc —
+// the monitor stays armed and handles a real failure afterwards.
+func TestMonitorFlapWithinDetectionDelay(t *testing.T) {
+	c := testCluster()
+	fs := New(c, DefaultConfig())
+	f := fs.Preload("/a", make([]byte, int(512*cluster.MB)))
+	mon := NewReplicationMonitor(fs, MonitorConfig{DetectionDelay: 5})
+	victim := f.Blocks[0].Locations[0] // a node that actually holds replicas
+
+	c.Eng.Schedule(10, func() { fs.NodeDown(victim) })
+	c.Eng.Schedule(12, func() { fs.NodeUp(victim) })
+	c.Eng.Schedule(13, func() { fs.NodeDown(victim) })
+	c.Eng.Schedule(14, func() { fs.NodeUp(victim) })
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Stats()
+	if st.BlocksRereplicated != 0 {
+		t.Fatalf("flap shorter than the detection delay still copied %d blocks", st.BlocksRereplicated)
+	}
+	if st.Scans != 1 {
+		t.Fatalf("flap ran %d scan passes, want exactly 1 (no double-enqueue)", st.Scans)
+	}
+	if rep := fs.Fsck(); !rep.Healthy() || rep.Stale != 0 {
+		t.Fatalf("flap left the fs unhealthy: %+v", rep)
+	}
+
+	// The worker must have exited cleanly (active flag released): a real
+	// failure afterwards still triggers a full recovery pass.
+	c.Eng.Schedule(1, func() { fs.NodeDown(victim) })
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st = mon.Stats()
+	if st.BlocksRereplicated == 0 {
+		t.Fatal("monitor stuck after the flap: real failure repaired nothing")
+	}
+	if rep := fs.Fsck(); !rep.Healthy() {
+		t.Fatalf("fs unhealthy after post-flap recovery: %+v", rep)
+	}
+}
+
+// TestMonitorRejoinCancelsQueuedRepairs: a rejoin landing while the
+// (throttled) repair queue drains obviates the remaining entries — they
+// are counted as cancelled, not copied, and any copy that already raced
+// over the factor is trimmed back.
+func TestMonitorRejoinCancelsQueuedRepairs(t *testing.T) {
+	c := testCluster()
+	fs := New(c, DefaultConfig())
+	fs.Preload("/a", make([]byte, int(2*cluster.GB)))
+	mon := NewReplicationMonitor(fs, MonitorConfig{DetectionDelay: 2, CopyBandwidth: 16 * cluster.MB})
+
+	c.Eng.Schedule(0, func() { fs.NodeDown(3) })
+	// Detection at t=2, then ~the first copy crawls at 16 MB/s; the node
+	// returns with most of the queue still pending.
+	c.Eng.Schedule(8, func() { fs.NodeUp(3) })
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Stats()
+	if st.RepairsCancelled == 0 {
+		t.Fatalf("rejoin mid-drain cancelled nothing: %+v", st)
+	}
+	if rep := fs.Fsck(); !rep.Healthy() || rep.OverReplicated != 0 || rep.Stale != 0 {
+		t.Fatalf("fs not reconciled after rejoin: %+v", rep)
+	}
+}
+
 // TestCommitAttempt covers the atomic-rename contract: commit moves the
 // temp file, a second commit of the same temp fails, and committing onto
 // a taken name fails (exactly-once).
@@ -224,9 +294,10 @@ func TestCommitAttempt(t *testing.T) {
 	}
 }
 
-// TestFsckReportsOverReplication: a revived node brings extra replicas
-// back, which Fsck must surface in the renamed OverReplicated field and
-// its String form.
+// TestFsckReportsOverReplication: repairing a block while a holder is
+// dead leaves that holder listed as a stale replica; hand-widening a
+// block over the factor shows up in OverReplicated and the String form;
+// and reviving the stale holder reconciles both away.
 func TestFsckReportsOverReplication(t *testing.T) {
 	c := testCluster()
 	fs := New(c, DefaultConfig())
@@ -241,16 +312,43 @@ func TestFsckReportsOverReplication(t *testing.T) {
 	if err := c.Eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	// Rereplicate replaced the dead location in the metadata, so reviving
-	// the node alone does not over-replicate; widen the block by hand the
-	// way a rejoined datanode would re-report it.
-	f.Blocks[0].Locations = append(f.Blocks[0].Locations, victim)
-	fs.NodeUp(victim)
+	// The repair bumped the generation stamp and kept the dead holder
+	// listed at the old one: one stale replica, no over-replication.
 	rep := fs.Fsck()
+	if rep.Stale != 1 || rep.OverReplicated != 0 {
+		t.Fatalf("want 1 stale replica after repairing around a dead holder: %+v", rep)
+	}
+	// Widen the block by hand on a live non-holder, the way a stray
+	// datanode block report would: Fsck must surface it.
+	extra := -1
+	for n := 0; n < c.N(); n++ {
+		held := false
+		for _, loc := range f.Blocks[0].Locations {
+			if loc == n {
+				held = true
+			}
+		}
+		if !held && fs.NodeAlive(n) {
+			extra = n
+			break
+		}
+	}
+	f.Blocks[0].Locations = append(f.Blocks[0].Locations, extra)
+	rep = fs.Fsck()
 	if rep.OverReplicated != 1 {
 		t.Fatalf("over-replication not detected: %+v", rep)
 	}
 	if !strings.Contains(rep.String(), "1 over-replicated") {
 		t.Fatalf("String() omits over-replication: %s", rep)
+	}
+	// The rejoin reconciliation prunes the stale replica and trims the
+	// excess one, restoring exact-factor health.
+	fs.NodeUp(victim)
+	rep = fs.Fsck()
+	if rep.Stale != 0 || rep.OverReplicated != 0 || !rep.Healthy() {
+		t.Fatalf("rejoin reconciliation left the block unhealthy: %+v", rep)
+	}
+	if rep.StalePruned != 1 || rep.ExcessPruned != 1 {
+		t.Fatalf("prune counters wrong: %+v", rep)
 	}
 }

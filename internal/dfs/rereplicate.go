@@ -14,12 +14,15 @@ type FsckReport struct {
 	UnderReplicated    int // blocks with fewer live replicas than configured
 	Missing            int // blocks with zero live replicas
 	OverReplicated     int // blocks above the replication factor
+	Stale              int // replica locations whose genstamp fell behind the block's
+	StalePruned        int // cumulative stale replicas pruned at rejoin
+	ExcessPruned       int // cumulative excess replicas trimmed from over-replicated blocks
 	TotalNominalStored float64
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: %d files, %d blocks, %d under-replicated, %d missing, %d over-replicated",
-		r.Files, r.Blocks, r.UnderReplicated, r.Missing, r.OverReplicated)
+	return fmt.Sprintf("fsck: %d files, %d blocks, %d under-replicated, %d missing, %d over-replicated, %d stale (%d stale + %d excess pruned)",
+		r.Files, r.Blocks, r.UnderReplicated, r.Missing, r.OverReplicated, r.Stale, r.StalePruned, r.ExcessPruned)
 }
 
 // Healthy reports whether every block has at least the configured number
@@ -44,9 +47,16 @@ func (fs *FS) Fsck() FsckReport {
 			case live > fs.cfg.Replication:
 				rep.OverReplicated++
 			}
+			for idx := range b.Locations {
+				if b.locGen(idx) < b.Gen {
+					rep.Stale++
+				}
+			}
 			rep.TotalNominalStored += b.Nominal * float64(live)
 		}
 	}
+	rep.StalePruned = fs.stalePruned
+	rep.ExcessPruned = fs.excessPruned
 	return rep
 }
 
@@ -76,9 +86,12 @@ func (fs *FS) liveLocs(b *Block) []int {
 
 // copyReplica copies one replica of b from src to a newly chosen live node
 // (excluding the given live holders), charging the simulated disk at both
-// ends and the network between them, and patches the block metadata (a
-// dead location is replaced in place). It returns the target node, or -1
-// when no eligible node exists.
+// ends and the network between them, and patches the block metadata. When
+// a holder is dead at patch time the block's generation stamp is bumped
+// and re-registered on the live locations — the dead holder keeps its old
+// stamp, marking its replica stale so the rejoin reconciliation in NodeUp
+// can prune it instead of resurrecting it. It returns the target node, or
+// -1 when no eligible node exists.
 func (fs *FS) copyReplica(p *sim.Proc, b *Block, src int, live []int) int {
 	target := fs.pickNewReplica(b, live)
 	if target < 0 {
@@ -100,16 +113,25 @@ func (fs *FS) copyReplica(p *sim.Proc, b *Block, src int, live []int) int {
 	wg.Wait(p)
 	p.BlockReason = ""
 	fs.diskUse[target] += b.Nominal
-	replaced := false
-	for i, loc := range b.Locations {
+	anyDead := false
+	for _, loc := range b.Locations {
 		if fs.dead[loc] {
-			b.Locations[i] = target
-			replaced = true
+			anyDead = true
 			break
 		}
 	}
-	if !replaced {
-		b.Locations = append(b.Locations, target)
+	if anyDead {
+		b.ensureGens()
+		b.Gen++
+		for i, loc := range b.Locations {
+			if !fs.dead[loc] {
+				b.LocGens[i] = b.Gen
+			}
+		}
+	}
+	b.Locations = append(b.Locations, target)
+	if b.LocGens != nil {
+		b.LocGens = append(b.LocGens, b.Gen)
 	}
 	return target
 }
@@ -150,13 +172,29 @@ func (fs *FS) Rereplicate(p *sim.Proc) (created int, err error) {
 }
 
 // pickNewReplica chooses a live node that does not already hold b,
-// preferring the emptiest disk (the balancer heuristic).
+// preferring the emptiest disk (the balancer heuristic). On a multi-rack
+// topology, when every live holder sits in one rack the repair restores
+// rack diversity: a node in a different rack wins if any is live.
 func (fs *FS) pickNewReplica(b *Block, live []int) int {
 	holds := map[int]bool{}
 	for _, loc := range live {
 		holds[loc] = true
 	}
-	best := -1
+	needRack := -1 // rack to escape, when diversity is lost
+	if fs.c.Racks() > 1 && len(live) > 0 {
+		oneRack := true
+		r0 := fs.c.RackOf(live[0])
+		for _, loc := range live[1:] {
+			if fs.c.RackOf(loc) != r0 {
+				oneRack = false
+				break
+			}
+		}
+		if oneRack {
+			needRack = r0
+		}
+	}
+	best, bestOff := -1, -1 // bestOff: best candidate outside needRack
 	for n := 0; n < fs.c.N(); n++ {
 		if fs.dead[n] || holds[n] {
 			continue
@@ -164,6 +202,14 @@ func (fs *FS) pickNewReplica(b *Block, live []int) int {
 		if best < 0 || fs.diskUse[n] < fs.diskUse[best] {
 			best = n
 		}
+		if needRack >= 0 && fs.c.RackOf(n) != needRack {
+			if bestOff < 0 || fs.diskUse[n] < fs.diskUse[bestOff] {
+				bestOff = n
+			}
+		}
+	}
+	if bestOff >= 0 {
+		return bestOff
 	}
 	return best
 }

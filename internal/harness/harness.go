@@ -186,6 +186,7 @@ type RigConfig struct {
 	BlockSize    float64 // nominal; default 256 MB (the paper's tuned value)
 	TasksPerNode int     // default 4 (the paper's tuned value)
 	Replication  int     // DFS replication; default 3 (the paper's value)
+	Racks        int     // failure domains; 0/1 = flat single-rack topology
 	Gateway      bool    // stage inputs through a single upload client (node 0)
 	Profile      bool    // attach a resource profiler
 	ProfInterval float64
@@ -213,7 +214,11 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	if rc.Replication <= 0 {
 		rc.Replication = 3
 	}
-	c := cluster.NewWith(cluster.DefaultHardware(), rc.Fidelity)
+	hw := cluster.DefaultHardware()
+	if rc.Racks > 1 {
+		hw.Topology = cluster.Topology{Racks: rc.Racks}
+	}
+	c := cluster.NewWith(hw, rc.Fidelity)
 	fsys := dfs.New(c, dfs.Config{
 		BlockSize:        rc.BlockSize,
 		Replication:      rc.Replication,

@@ -219,10 +219,11 @@ func TestTenantsTraceShape(t *testing.T) {
 }
 
 // TestFaultsweepShape runs the fault sweep in quick mode and asserts the
-// acceptance properties: all three frameworks complete with output
-// byte-identical to their clean runs after a mid-job node kill, the
-// replication monitor restores replicas, and two runs render
-// byte-identically (determinism).
+// acceptance properties: all three frameworks survive kills, rack
+// failures and flaps with output byte-identical to their clean runs
+// wherever replication permits, replication-1 rows terminate with
+// accounted data loss instead of deadlocking, rejoin reconciliation shows
+// up in the counters, and two runs render byte-identically (determinism).
 func TestFaultsweepShape(t *testing.T) {
 	exp, ok := Lookup("faultsweep")
 	if !ok {
@@ -232,28 +233,59 @@ func TestFaultsweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 6 {
-		t.Fatalf("quick rows = %d, want 3 frameworks x 2 kill times", len(rep.Rows))
+	// 3 frameworks x 2 kill times, plus 3 frameworks x 2 replication
+	// factors x {rack, flap}.
+	if len(rep.Rows) != 18 {
+		t.Fatalf("quick rows = %d, want 6 kill + 12 correlated", len(rep.Rows))
 	}
 	fws := map[string]bool{}
+	faults := map[string]bool{}
+	sawCancelledOrPruned := false
 	for _, row := range rep.Rows {
-		fws[row[0]] = true
-		if row[8] != "ok" {
-			t.Fatalf("%s killed at %ss produced wrong output: %v", row[0], row[1], row)
-		}
-		clean, fault := atof(row[2]), atof(row[3])
-		if clean <= 0 || fault <= 0 {
+		fw, fault, repl := row[0], row[1], atof(row[2])
+		fws[fw] = true
+		faults[fault] = true
+		clean, faulted := atof(row[4]), atof(row[5])
+		if clean <= 0 || (faulted <= 0 && row[12] != "failed") {
 			t.Fatalf("missing timings: %v", row)
 		}
-		if rerepl := atof(row[6]); rerepl == 0 {
-			t.Fatalf("%s killAt=%s: replication monitor restored no replicas: %v", row[0], row[1], row)
+		lost := atof(row[11])
+		switch {
+		case repl == 1:
+			// The fault is unsurvivable for the blocks it held: whether the
+			// job rode out the outage or failed permanently, the loss must
+			// be accounted and the run must have terminated.
+			if lost == 0 {
+				t.Fatalf("%s %s repl=1 reported no data loss: %v", fw, fault, row)
+			}
+			if out := row[12]; out != "ok" && out != "failed" {
+				t.Fatalf("%s %s repl=1 output cell %q, want ok or failed: %v", fw, fault, out, row)
+			}
+		default:
+			if row[12] != "ok" {
+				t.Fatalf("%s %s repl=%.0f produced wrong output: %v", fw, fault, repl, row)
+			}
+			if lost != 0 {
+				t.Fatalf("%s %s repl=%.0f lost data: %v", fw, fault, repl, row)
+			}
 		}
-		if lost := atof(row[7]); lost != 0 {
-			t.Fatalf("%s killAt=%s: data lost at replication 3: %v", row[0], row[1], row)
+		if fault == "kill" && atof(row[8]) == 0 {
+			t.Fatalf("%s kill: replication monitor restored no replicas: %v", fw, row)
+		}
+		if atof(row[9]) > 0 || atof(row[10]) > 0 {
+			sawCancelledOrPruned = true
 		}
 	}
 	if len(fws) != 3 {
 		t.Fatalf("frameworks covered: %v, want all three", fws)
+	}
+	for _, f := range []string{"kill", "rack", "flap"} {
+		if !faults[f] {
+			t.Fatalf("fault shapes covered: %v, want kill+rack+flap", faults)
+		}
+	}
+	if !sawCancelledOrPruned {
+		t.Fatal("no row exercised rejoin reconciliation (cancelled repairs or pruned replicas)")
 	}
 	rep2, err := exp.Run(Options{Quick: true})
 	if err != nil {

@@ -17,6 +17,16 @@ type stage struct {
 	narrow   []*narrowOp
 	target   *RDD    // the RDD this stage materializes
 	consumer *wideOp // the shuffle this stage feeds (nil for the last stage)
+
+	// fromCache marks a stage planned to read the root RDD's cached
+	// partitions; cache is the snapshot it reads. The snapshot is taken
+	// at plan time when the cache is already materialized, else at stage
+	// start (the producing stage ran earlier in the same action), so a
+	// node failure invalidating the cache mid-action cannot dangle a
+	// running stage — at worst the snapshot is gone before the stage
+	// starts and the action fails cleanly for the caller to resubmit.
+	fromCache bool
+	cache     []partData
 }
 
 // plan walks the lineage and produces stages bottom-up, linking each
@@ -27,7 +37,7 @@ func plan(r *RDD) []*stage {
 	walk = func(r *RDD) *stage {
 		switch {
 		case r.cached && r.inCache:
-			return &stage{root: r, target: r}
+			return &stage{root: r, target: r, fromCache: true, cache: r.cacheData}
 		case r.source != nil:
 			return &stage{root: r, target: r}
 		case r.narrow != nil:
@@ -40,7 +50,7 @@ func plan(r *RDD) []*stage {
 				if !par.inCache {
 					stages = append(stages, walk(par))
 				}
-				st = &stage{root: par, target: par}
+				st = &stage{root: par, target: par, fromCache: true, cache: par.cacheData}
 			} else {
 				st = walk(par)
 			}
@@ -209,8 +219,9 @@ type stageFetch struct {
 
 // recover returns partition pi of the lost producer output pd, recomputing
 // the producing task on the caller's node if no sibling already did.
-// Cached-root producers recompute from their in-memory pairs — losing the
-// executor cache itself is not modeled.
+// Cached-root producers recompute from the stage's plan-time cache
+// snapshot; losing the executor cache itself drops the RDD for recompute
+// on the next action (see Engine.dropCachesOn).
 func (sf *stageFetch) recover(p *sim.Proc, att *sched.Attempt, node int, pd partData, pi int) (partData, error) {
 	ti := pd.taskIdx
 	for sf.busy[ti] {
@@ -249,8 +260,19 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, pre
 	var tasks []taskIn
 
 	switch {
-	case st.root.cached && st.root.inCache:
-		for _, pd := range st.root.cacheData {
+	case st.fromCache:
+		if st.cache == nil {
+			// The producing stage ran earlier in this action; pick up its
+			// materialized partitions now.
+			st.cache = st.root.cacheData
+		}
+		if st.cache == nil {
+			// The cache was invalidated (node failure) between planning and
+			// this stage, and re-materialization did not land. Fail the
+			// action cleanly rather than deadlock on missing partitions.
+			return nil, nil, fmt.Errorf("rdd: cached partitions lost with a failed node mid-job")
+		}
+		for _, pd := range st.cache {
 			tasks = append(tasks, taskIn{node: pd.node, pairs: pd.pairs, nominal: pd.nominal})
 		}
 	case st.root.source != nil:
@@ -354,6 +376,13 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, pre
 			}
 			st.target.cacheData = results
 			st.target.inCache = true
+			e.registerCached(st.target)
+			if st.target.lostParts > 0 {
+				// This materialization recomputed partitions that died with
+				// a failed executor — charge them to the recovery counters.
+				ctl.Tracker().NoteCacheRecomputes(st.target.lostParts)
+				st.target.lostParts = 0
+			}
 		}
 		// If it does not fit, Spark silently evicts: the RDD is simply
 		// not cached and later actions recompute it.

@@ -82,7 +82,8 @@ func DefaultConfig() Config {
 
 // Engine is the Spark-like engine. Create one per application; cached
 // RDDs persist across jobs run on the same engine (as they do across
-// actions in one SparkContext).
+// actions in one SparkContext) — until an executor holding cached
+// partitions dies, which invalidates the affected RDDs for recompute.
 type Engine struct {
 	C    *cluster.Cluster
 	FS   *dfs.FS
@@ -92,11 +93,65 @@ type Engine struct {
 	appStarted bool
 	app        *sched.Residency // executor residency across actions
 	profiling  sched.Profiling  // refcounted sampling across actions
+
+	// cachedRDDs registers every RDD materialized into executor memory,
+	// so a node failure can drop the partitions that died with it.
+	cachedRDDs []*RDD
 }
 
 // New creates an engine (a SparkContext, in effect) over a filesystem.
+// The engine subscribes to datanode failures: executors are co-located
+// with datanodes, so a node going down also loses the executor cache
+// partitions it held (see dropCachesOn).
 func New(fs *dfs.FS, cfg Config) *Engine {
-	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+	e := &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+	fs.OnNodeEvent(func(node int, down bool) {
+		if down {
+			e.dropCachesOn(node)
+		}
+	})
+	return e
+}
+
+// dropCachesOn invalidates every cached RDD with a partition on the dead
+// node — Spark loses an executor's in-memory blocks with the executor.
+// Cache residency is all-or-nothing here, so the whole RDD drops: pins on
+// surviving nodes are freed too, and the next action recomputes and
+// re-materializes it through the normal lineage plan, charging the lost
+// partitions to the tracker's cache-recompute counter when the refill
+// lands. Stages already running keep the plan-time snapshot they hold;
+// data an executor already fetched is not clawed back mid-task.
+func (e *Engine) dropCachesOn(node int) {
+	for _, r := range e.cachedRDDs {
+		if !r.inCache {
+			continue
+		}
+		lost := 0
+		for _, pd := range r.cacheData {
+			if pd.node == node {
+				lost++
+			}
+		}
+		if lost == 0 {
+			continue
+		}
+		for _, pd := range r.cacheData {
+			e.C.Node(pd.node).Mem.Free(pd.nominal * e.Cfg.ExpansionFactor)
+		}
+		r.cacheData = nil
+		r.inCache = false
+		r.lostParts += lost
+	}
+}
+
+// registerCached remembers a materialized RDD for failure invalidation.
+func (e *Engine) registerCached(r *RDD) {
+	for _, c := range e.cachedRDDs {
+		if c == r {
+			return
+		}
+	}
+	e.cachedRDDs = append(e.cachedRDDs, r)
 }
 
 // Name implements job.Engine.
@@ -121,6 +176,7 @@ type RDD struct {
 	cached    bool
 	cacheData []partData // materialized when cached and computed
 	inCache   bool
+	lostParts int // cached partitions dropped with failed nodes, awaiting recompute accounting
 }
 
 type narrowOp struct {

@@ -204,6 +204,74 @@ func TestCacheSpeedsUpSecondAction(t *testing.T) {
 	}
 }
 
+// TestCacheLossRecompute: a node failure drops every cached RDD holding a
+// partition on it (frees the pins, invalidates the cache) and the next
+// action transparently recomputes and re-materializes through lineage,
+// tallying the lost partitions for the recovery counters.
+func TestCacheLossRecompute(t *testing.T) {
+	c, fs, eng := testSetup(16*cluster.KB, 1)
+	in := fs.PreloadAligned("/in", genText(11, 128*1024), '\n')
+	rdd := eng.TextFile(in).FlatMapKV(func(k, v []byte, emit job.Emit) {
+		emit(v, nil)
+	}, 1).Cache()
+
+	p1, r1 := rdd.Collect()
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if !rdd.inCache || len(eng.cachedRDDs) != 1 {
+		t.Fatalf("cache not materialized/registered: inCache=%v registered=%d", rdd.inCache, len(eng.cachedRDDs))
+	}
+	pinned := 0.0
+	for i := 0; i < c.N(); i++ {
+		pinned += c.Node(i).Mem.Used()
+	}
+	if pinned == 0 {
+		t.Fatal("no cache pins held between actions")
+	}
+
+	victim := rdd.cacheData[0].node
+	fs.NodeDown(victim)
+	if rdd.inCache || rdd.cacheData != nil {
+		t.Fatal("node failure did not invalidate the cached RDD")
+	}
+	if rdd.lostParts == 0 {
+		t.Fatal("lost partitions not tallied")
+	}
+	for i := 0; i < c.N(); i++ {
+		if used := c.Node(i).Mem.Used(); used != 0 {
+			t.Fatalf("node %d still pins %.0f bytes after cache drop", i, used)
+		}
+	}
+
+	// Next action recomputes through lineage and re-materializes.
+	fs.NodeUp(victim)
+	p2, r2 := rdd.Collect()
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if len(p2) != len(p1) {
+		t.Fatalf("recomputed action returned %d records, want %d", len(p2), len(p1))
+	}
+	if !rdd.inCache {
+		t.Fatal("recompute did not re-materialize the cache")
+	}
+	if rdd.lostParts != 0 {
+		t.Fatalf("lost-partition tally not charged on refill: %d", rdd.lostParts)
+	}
+	if len(eng.cachedRDDs) != 1 {
+		t.Fatalf("re-registration duplicated the RDD: %d entries", len(eng.cachedRDDs))
+	}
+	// And the cache works again: a third action reads it.
+	_, r3 := rdd.Collect()
+	if r3.Err != nil {
+		t.Fatal(r3.Err)
+	}
+	if r3.Elapsed >= r2.Elapsed {
+		t.Fatalf("re-cached action (%.2fs) not faster than recompute (%.2fs)", r3.Elapsed, r2.Elapsed)
+	}
+}
+
 func TestCollectReturnsData(t *testing.T) {
 	_, fs, eng := testSetup(8*cluster.KB, 1)
 	data := genText(6, 8*1024)

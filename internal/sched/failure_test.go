@@ -240,3 +240,155 @@ func TestLaunchRoutesAroundDownNode(t *testing.T) {
 		t.Fatalf("attempt ran on node %d, want a healthy reroute", got)
 	}
 }
+
+// TestMaxRetriesPermanentFailure chases a task with node failures until it
+// exhausts its retry budget: the task must fail for good (Fail and Final
+// run, PermanentFails counted) instead of retrying forever or deadlocking.
+func TestMaxRetriesPermanentFailure(t *testing.T) {
+	eng, pool := trackerRig()
+	tr := NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{})
+	h := &JobHandle{name: "job", weight: 1}
+
+	cur := -1
+	var failErr error
+	finals := 0
+	tr.Launch(TaskSpec{
+		Name: "doomed", Node: 0, Pool: pool, Handle: h, Group: "g",
+		Restartable: true, MaxRetries: 1,
+		Body: func(p *sim.Proc, att *Attempt) (any, error) {
+			cur = att.Node()
+			p.Sleep(100)
+			return nil, nil
+		},
+		Fail:  func(err error) { failErr = err },
+		Final: func() { finals++ },
+	})
+	// Kill whichever node the live attempt is on, twice: the first failure
+	// spends the single allowed retry, the second exceeds it.
+	eng.Schedule(5, func() { tr.NodeDown(cur) })
+	eng.Schedule(10, func() { tr.NodeDown(cur) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failErr == nil || !strings.Contains(failErr.Error(), "failed permanently") {
+		t.Fatalf("want a permanent failure, got %v", failErr)
+	}
+	if finals != 1 {
+		t.Fatalf("finals = %d, want exactly one settlement", finals)
+	}
+	st := tr.Stats()
+	if st.PermanentFails != 1 || st.Retries != 1 {
+		t.Fatalf("stats = %+v, want 1 permanent fail after 1 retry", st)
+	}
+}
+
+// TestRetryBackoffDelaysRepeatedFailures: the first retry is immediate
+// (the single-failure fast path), but the second and third back off
+// exponentially (2s, then 4s) before re-dispatching.
+func TestRetryBackoffDelaysRepeatedFailures(t *testing.T) {
+	eng, pool := trackerRig()
+	tr := NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{})
+	h := &JobHandle{name: "job", weight: 1}
+
+	cur := -1
+	tr.Launch(TaskSpec{
+		Name: "chased", Node: 0, Pool: pool, Handle: h, Group: "g",
+		Restartable: true, MaxRetries: -1,
+		Body: func(p *sim.Proc, att *Attempt) (any, error) {
+			cur = att.Node()
+			p.Sleep(100)
+			return nil, nil
+		},
+	})
+	eng.Schedule(5, func() { tr.NodeDown(cur) })  // retry 1: immediate
+	eng.Schedule(10, func() { tr.NodeDown(cur) }) // retry 2: +2s backoff
+	eng.Schedule(20, func() { tr.NodeDown(cur) }) // retry 3: +4s backoff
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Retries != 3 || st.PermanentFails != 0 {
+		t.Fatalf("stats = %+v, want 3 retries and no permanent failure", st)
+	}
+	// Last kill at t=20, 4s backoff, then the body's full 100s from scratch.
+	if eng.Now() != 124 {
+		t.Fatalf("drained at t=%v, want 124 (20 + 4s backoff + 100s re-run)", eng.Now())
+	}
+}
+
+// TestNodesDownMassKillRequeuesAcrossRacks fails half the cluster (one
+// whole rack) in a single correlated step: every attempt caught in the
+// rack is killed and requeued, and with the topology wired the retries
+// prefer nodes outside the failed rack.
+func TestNodesDownMassKillRequeuesAcrossRacks(t *testing.T) {
+	eng, pool := trackerRig()
+	tr := NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{})
+	tr.SetTopology([]int{0, 0, 0, 0, 1, 1, 1, 1})
+	h := &JobHandle{name: "job", weight: 1}
+
+	doneNodes := make([]int, 8)
+	finals := 0
+	for i := 0; i < 8; i++ {
+		i := i
+		tr.Launch(TaskSpec{
+			Name: "task", Node: i, Pool: pool, Handle: h, Group: "g",
+			Restartable: true,
+			Body: func(p *sim.Proc, att *Attempt) (any, error) {
+				p.Sleep(20)
+				return att.Node(), nil
+			},
+			Done: func(p *sim.Proc, v any, att *Attempt) error {
+				doneNodes[i] = v.(int)
+				return nil
+			},
+			Final: func() { finals++ },
+		})
+	}
+	eng.Schedule(5, func() { tr.NodesDown([]int{0, 1, 2, 3}) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finals != 8 {
+		t.Fatalf("finals = %d, want every task settled exactly once", finals)
+	}
+	st := tr.Stats()
+	if st.Kills != 4 || st.Retries != 4 {
+		t.Fatalf("stats = %+v, want the 4 rack-0 attempts killed and retried", st)
+	}
+	for i, n := range doneNodes {
+		if n < 4 {
+			t.Fatalf("task %d completed on failed-rack node %d", i, n)
+		}
+	}
+}
+
+// TestRackExclusionPrefersOtherRack: after one failure in rack 0, the
+// retry must land in rack 1 even though other rack-0 nodes are idle —
+// correlated failures make same-rack retries a bad bet.
+func TestRackExclusionPrefersOtherRack(t *testing.T) {
+	eng, pool := trackerRig()
+	tr := NewTaskTracker(eng, SpeculationConfig{}, PreemptionConfig{})
+	tr.SetTopology([]int{0, 0, 0, 0, 1, 1, 1, 1})
+	h := &JobHandle{name: "job", weight: 1}
+
+	got := -1
+	tr.Launch(TaskSpec{
+		Name: "task", Node: 0, Pool: pool, Handle: h, Group: "g",
+		Restartable: true,
+		Body: func(p *sim.Proc, att *Attempt) (any, error) {
+			p.Sleep(20)
+			return att.Node(), nil
+		},
+		Done: func(p *sim.Proc, v any, att *Attempt) error {
+			got = v.(int)
+			return nil
+		},
+	})
+	eng.Schedule(5, func() { tr.NodeDown(0) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got < 4 {
+		t.Fatalf("retry landed on node %d, want a rack-1 node (4-7)", got)
+	}
+}

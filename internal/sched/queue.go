@@ -448,6 +448,18 @@ func (q *Queue) Timeline() []TimelineEntry {
 // cluster.Cluster.NodeDown for the full failure perturbation.
 func (q *Queue) NodeDown(node int) { q.tracker.NodeDown(node) }
 
+// NodesDown routes a correlated multi-node failure (a rack event) to the
+// tracker in one pass: every node is excluded before any requeue places a
+// replacement attempt (see TaskTracker.NodesDown).
+func (q *Queue) NodesDown(nodes []int) { q.tracker.NodesDown(nodes) }
+
+// NodeUp returns a failed node to scheduling service.
+func (q *Queue) NodeUp(node int) { q.tracker.NodeUp(node) }
+
+// SetTopology installs the node -> rack map for the tracker's
+// rack-exclusion placement tier.
+func (q *Queue) SetTopology(rackOf []int) { q.tracker.SetTopology(rackOf) }
+
 // SlotSeconds returns the simulated slot-seconds s's attempts have held —
 // the raw material of the scenario report's slot-occupancy shares.
 func (q *Queue) SlotSeconds(s *Submission) float64 { return q.tracker.SlotSeconds(s.handle) }

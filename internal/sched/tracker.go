@@ -112,6 +112,11 @@ type TaskSpec struct {
 	// gang-scheduled slot pool so a re-homed rank can acquire a slot that
 	// the failure removed from service.
 	PreRetry func()
+	// MaxRetries caps node-failure requeues of this task: past the cap the
+	// task fails permanently (Fail/Final run, PermanentFails counted)
+	// instead of chasing a flapping node forever. 0 takes the default (8);
+	// negative means unlimited, the pre-cap behaviour.
+	MaxRetries int
 	// CommitFS, when set, arms the attempt-scoped output committer: the
 	// Body (or Done) writes DFS output through Attempt.ScopedPath, and the
 	// tracker renames the winning attempt's files to their final names
@@ -217,17 +222,40 @@ type trackedTask struct {
 	settled    bool // a result (or skip/failure) has been delivered
 	gatePassed bool // some attempt made it through Pre (or there is none)
 	backups    int
+	retries    int // node-failure requeues so far (MaxRetries caps it)
 }
 
 // TrackerStats counts lifecycle events for reporting.
 type TrackerStats struct {
-	Tasks       int // logical tasks launched
-	Backups     int // speculative backup attempts spawned
-	BackupWins  int // tasks won by a backup attempt
-	Kills       int // attempts cancelled (lost races, preemptions, node loss)
-	Preemptions int // attempts killed (and requeued) to feed a starved job
-	Retries     int // attempts requeued on a healthy node after node failure
-	Recomputes  int // settled tasks re-executed to regenerate lost outputs
+	Tasks           int // logical tasks launched
+	Backups         int // speculative backup attempts spawned
+	BackupWins      int // tasks won by a backup attempt
+	Kills           int // attempts cancelled (lost races, preemptions, node loss)
+	Preemptions     int // attempts killed (and requeued) to feed a starved job
+	Retries         int // attempts requeued on a healthy node after node failure
+	Recomputes      int // settled tasks re-executed to regenerate lost outputs
+	PermanentFails  int // tasks failed for good after exhausting MaxRetries
+	CacheRecomputes int // cached partitions recomputed after executor-cache loss
+}
+
+// Node-failure retry pacing: the first requeue is immediate (a single
+// clean failure loses no time), later ones back off exponentially so a
+// flapping node cannot pin a task in a tight kill/respawn cycle.
+const (
+	defaultMaxRetries = 8
+	retryBackoffBase  = 2.0  // seconds, second retry
+	retryBackoffCap   = 16.0 // seconds
+)
+
+// maxRetries resolves a spec's retry cap (0 = default, negative = none).
+func maxRetries(ts TaskSpec) int {
+	if ts.MaxRetries < 0 {
+		return -1
+	}
+	if ts.MaxRetries == 0 {
+		return defaultMaxRetries
+	}
+	return ts.MaxRetries
 }
 
 // TaskTracker owns task attempts for every job admitted to one queue: it
@@ -256,6 +284,13 @@ type TaskTracker struct {
 	// down marks failed nodes: no attempt is placed there and attempts
 	// caught on one are killed and requeued (NodeDown).
 	down map[int]bool
+
+	// rackOf maps node -> rack when the cluster has a topology
+	// (SetTopology); nil means no rack information. Placement gains a
+	// rack-exclusion tier: retries and backups prefer racks no attempt
+	// of the task has touched. On a single rack the tier collapses to
+	// the node-level logic bit for bit.
+	rackOf []int
 
 	// slotSec integrates per-job slot occupancy (simulated seconds an
 	// attempt held a slot), accrued as each attempt releases — the
@@ -398,6 +433,15 @@ func (t *TaskTracker) Stats() TrackerStats { return t.stats }
 // regenerate output lost with a failed node (a recomputed map, a replayed
 // O rank, a regenerated shuffle partition).
 func (t *TaskTracker) NoteRecompute() { t.stats.Recomputes++ }
+
+// NoteCacheRecomputes records n cached partitions an engine recomputed
+// because the executor holding them died (Spark's cache-loss lineage
+// recompute).
+func (t *TaskTracker) NoteCacheRecomputes(n int) { t.stats.CacheRecomputes += n }
+
+// SetTopology installs the node -> rack map used by the rack-exclusion
+// placement tier. A nil or single-rack map changes nothing.
+func (t *TaskTracker) SetTopology(rackOf []int) { t.rackOf = rackOf }
 
 // Launch admits one task and spawns its first attempt on its preferred
 // node. The attempt acquires a slot from the task's pool, runs Body, and
@@ -618,18 +662,31 @@ func (t *TaskTracker) failTask(task *trackedTask, err error) {
 // pool growth) before the replacement node is chosen. Later launches and
 // backup attempts route around down nodes. Call from kernel context (a
 // timeline event), never from a proc running on the dying node.
-func (t *TaskTracker) NodeDown(node int) {
-	if t.down[node] {
+func (t *TaskTracker) NodeDown(node int) { t.NodesDown([]int{node}) }
+
+// NodesDown fails a set of nodes in one correlated event — a rack losing
+// power, a switch partition. Every node is marked down before any attempt
+// is killed or requeued, so replacement placement never lands on a
+// sibling node that died in the same event; with rack information set the
+// requeue prefers racks the task has not touched (rack-level exclusion).
+func (t *TaskTracker) NodesDown(nodes []int) {
+	fresh := make(map[int]bool, len(nodes))
+	for _, node := range nodes {
+		if !t.down[node] {
+			t.down[node] = true
+			fresh[node] = true
+		}
+	}
+	if len(fresh) == 0 {
 		return
 	}
-	t.down[node] = true
 	for _, task := range t.tasks {
 		if task.settled {
 			continue
 		}
 		var dead []*Attempt
 		for _, a := range task.attempts {
-			if !a.finished && !a.killed && a.node == node {
+			if !a.finished && !a.killed && fresh[a.node] {
 				dead = append(dead, a)
 			}
 		}
@@ -658,23 +715,68 @@ func (t *TaskTracker) NodeDown(node int) {
 				break
 			}
 		}
+		node := dead[0].node
 		if lost {
 			t.failTask(task, fmt.Errorf(
 				"sched: node %d failed with non-restartable task %s in flight", node, task.spec.Name))
 			continue
 		}
-		if task.spec.PreRetry != nil {
-			task.spec.PreRetry()
-		}
-		alt := t.altNode(task)
-		if alt < 0 {
-			t.failTask(task, fmt.Errorf(
-				"sched: no healthy node to retry task %s after node %d failure", task.spec.Name, node))
-			continue
-		}
-		t.stats.Retries++
-		t.spawn(task, alt, false)
+		t.requeue(task, node)
 	}
+}
+
+// NodeUp returns a failed node to scheduling service: later launches,
+// retries and backups may be placed there again. In-flight attempts are
+// untouched.
+func (t *TaskTracker) NodeUp(node int) { delete(t.down, node) }
+
+// requeue respawns a task whose every attempt died with its node. The
+// retry counter is capped by the spec's MaxRetries — past the cap the
+// task fails permanently instead of chasing a flapping node forever —
+// and from the second retry on the respawn backs off exponentially
+// (2s, 4s, ... capped at 16s), re-picking the replacement node when the
+// timer fires so the choice sees the liveness of that moment. The first
+// retry stays immediate: a single clean node failure recovers exactly as
+// it did before the cap existed.
+func (t *TaskTracker) requeue(task *trackedTask, node int) {
+	task.retries++
+	if max := maxRetries(task.spec); max >= 0 && task.retries > max {
+		t.stats.PermanentFails++
+		t.failTask(task, fmt.Errorf(
+			"sched: task %s failed permanently after %d node-failure retries", task.spec.Name, task.retries-1))
+		return
+	}
+	if task.spec.PreRetry != nil {
+		task.spec.PreRetry()
+	}
+	if task.retries >= 2 {
+		delay := retryBackoffBase * math.Pow(2, float64(task.retries-2))
+		if delay > retryBackoffCap {
+			delay = retryBackoffCap
+		}
+		t.eng.Schedule(delay, func() {
+			if task.settled {
+				return
+			}
+			alt := t.altNode(task)
+			if alt < 0 {
+				t.failTask(task, fmt.Errorf(
+					"sched: no healthy node to retry task %s after node %d failure", task.spec.Name, node))
+				return
+			}
+			t.stats.Retries++
+			t.spawn(task, alt, false)
+		})
+		return
+	}
+	alt := t.altNode(task)
+	if alt < 0 {
+		t.failTask(task, fmt.Errorf(
+			"sched: no healthy node to retry task %s after node %d failure", task.spec.Name, node))
+		return
+	}
+	t.stats.Retries++
+	t.spawn(task, alt, false)
 }
 
 // altNode picks a healthy node for a retried or rerouted attempt: first
@@ -884,13 +986,39 @@ func (t *TaskTracker) speculate() {
 // backupNode picks the node for a speculative attempt: not yet used by
 // any attempt of the task and not down, preferring the most free slots
 // (lowest index on ties). Returns -1 when every healthy node already
-// hosts an attempt.
+// hosts an attempt. With rack information installed a rack-exclusion
+// tier runs first: a node in a rack no attempt has touched wins, so a
+// retry escapes a failing rack, not just a failing node — on a single
+// rack the tier selects exactly what the node tier would, or nothing.
 func (t *TaskTracker) backupNode(task *trackedTask) int {
 	used := make(map[int]bool, len(task.attempts))
 	for _, a := range task.attempts {
 		used[a.node] = true
 	}
 	pool := task.spec.Pool
+	if t.rackOf != nil {
+		usedRacks := make(map[int]bool, len(task.attempts))
+		for _, a := range task.attempts {
+			if a.node < len(t.rackOf) {
+				usedRacks[t.rackOf[a.node]] = true
+			}
+		}
+		best := -1
+		for node := 0; node < pool.Nodes(); node++ {
+			if used[node] || t.down[node] {
+				continue
+			}
+			if node < len(t.rackOf) && usedRacks[t.rackOf[node]] {
+				continue
+			}
+			if best < 0 || pool.Free(node) > pool.Free(best) {
+				best = node
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
 	best := -1
 	for node := 0; node < pool.Nodes(); node++ {
 		if used[node] || t.down[node] {

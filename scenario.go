@@ -158,6 +158,128 @@ func NodeDown(node int) Event {
 	}
 }
 
+// NodeUp builds an event rejoining a previously failed node: the DFS
+// reconciles its stale replicas against current generation stamps (and
+// trims any over-replication the repairs left), the replication monitor
+// cancels queued repairs the rejoin made redundant, and the scheduler
+// resumes placing attempts there. Reviving a node that is not down is
+// flagged in Report.Notes.
+func NodeUp(node int) Event {
+	name := fmt.Sprintf("node-up-%d", node)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			if rc.tb.Cluster.Alive(node) && rc.tb.FS.NodeAlive(node) {
+				rc.noteMiss(name, "node is not down")
+				return
+			}
+			rc.tb.FS.NodeUp(node)
+			rc.tb.Cluster.NodeUp(node)
+			rc.q.NodeUp(node)
+		},
+		validate: checkNode(name, node),
+	}
+}
+
+// checkRack validates a rack index against the scenario's testbed.
+func checkRack(name string, rack int) func(tb *Testbed) error {
+	return func(tb *Testbed) error {
+		if racks := tb.Cluster.Racks(); rack < 0 || rack >= racks {
+			return fmt.Errorf("datampi: event %s: rack %d out of range [0,%d)", name, rack, racks)
+		}
+		return nil
+	}
+}
+
+// RackDown builds an event failing every node in a rack at once — the
+// correlated failure a lost top-of-rack switch or PDU causes. All the
+// rack's nodes go down in one step: the scheduler kills and requeues their
+// attempts together (preferring surviving racks for the retries), and the
+// DFS loses every replica the rack held — which is why rack-aware
+// placement spreads each block across at least two racks.
+func RackDown(rack int) Event {
+	name := fmt.Sprintf("rack-down-%d", rack)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			nodes := rc.tb.Cluster.RackNodes(rack)
+			for _, n := range nodes {
+				rc.tb.FS.NodeDown(n)
+			}
+			rc.tb.Cluster.RackDown(rack)
+			rc.q.NodesDown(nodes)
+		},
+		validate: checkRack(name, rack),
+	}
+}
+
+// RackUp builds an event rejoining every node in a rack, with the same
+// per-node reconciliation as NodeUp. Nodes in the rack that are not down
+// are skipped silently (the switch came back; nodes that never lost power
+// are unaffected).
+func RackUp(rack int) Event {
+	name := fmt.Sprintf("rack-up-%d", rack)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			any := false
+			for _, n := range rc.tb.Cluster.RackNodes(rack) {
+				if rc.tb.Cluster.Alive(n) && rc.tb.FS.NodeAlive(n) {
+					continue
+				}
+				any = true
+				rc.tb.FS.NodeUp(n)
+				rc.tb.Cluster.NodeUp(n)
+				rc.q.NodeUp(n)
+			}
+			if !any {
+				rc.noteMiss(name, "no node in the rack is down")
+			}
+		},
+		validate: checkRack(name, rack),
+	}
+}
+
+// Flap builds an event bouncing a node count times: each cycle takes the
+// node down for downFor seconds, then brings it back, with cycles starting
+// period seconds apart — the repeatedly-rebooting machine that stresses
+// failure detectors. Schedule it with At(t, ...): the first down fires at
+// t, its recovery at t+downFor, the second down at t+period, and so on.
+// A flap shorter than the replication monitor's detection delay must not
+// enqueue repairs at all (the rejoin cancels them).
+func Flap(node int, downFor, period float64, count int) Event {
+	name := fmt.Sprintf("flap-node-%d-%gs-of-%gs-x%d", node, downFor, period, count)
+	down := NodeDown(node)
+	up := NodeUp(node)
+	return Event{
+		name: name,
+		apply: func(rc *runCtx) {
+			now := rc.q.Now()
+			for i := 0; i < count; i++ {
+				i := i
+				if i == 0 {
+					down.apply(rc)
+				} else {
+					rc.q.At(now+float64(i)*period, down.name, func() { down.apply(rc) })
+				}
+				rc.q.At(now+float64(i)*period+downFor, up.name, func() { up.apply(rc) })
+			}
+		},
+		validate: func(tb *Testbed) error {
+			if err := checkNode(name, node)(tb); err != nil {
+				return err
+			}
+			if downFor <= 0 || period <= 0 || count < 1 {
+				return fmt.Errorf("datampi: event %s: need positive downFor/period and count >= 1", name)
+			}
+			if downFor >= period {
+				return fmt.Errorf("datampi: event %s: downFor %g must be shorter than period %g", name, downFor, period)
+			}
+			return nil
+		},
+	}
+}
+
 // GrowSlots builds an event widening the slot pool named kind (e.g.
 // "mr-map", "dm-o", "spark-worker") to perNode slots per node — DataMPI's
 // elastic pool growth on the scenario clock. Growing a pool no engine has
@@ -419,6 +541,102 @@ func At(t float64, ev Event) ScenarioOption {
 	}
 }
 
+// FaultKind selects a fault class for FaultPlan's generator.
+type FaultKind int
+
+const (
+	// FaultNodeDown fails one node and revives it after the drawn outage.
+	FaultNodeDown FaultKind = iota
+	// FaultRackDown fails a whole rack and revives it after the drawn
+	// outage (drawn only on multi-rack testbeds).
+	FaultRackDown
+	// FaultFlap bounces one node twice with sub-outage down intervals.
+	FaultFlap
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNodeDown:
+		return "node-down"
+	case FaultRackDown:
+		return "rack-down"
+	case FaultFlap:
+		return "flap"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultPlan generates a deterministic correlated-failure schedule and
+// injects it into the scenario: n faults whose start times form a Poisson
+// process with the given rate (faults per simulated second), each drawn
+// from kinds (all three classes when empty) with a uniform target and a
+// uniform 15–45s outage. Node and rack faults get a matching revival
+// event; flaps bounce their node twice within the outage window. The
+// whole plan is a pure function of (seed, rate, n, kinds, topology):
+// replaying the same plan on the same testbed reproduces the same
+// timeline and report bit for bit, which is what makes a failure-mode
+// regression diffable. Rack faults are drawn only when the testbed has
+// more than one rack; asking for only FaultRackDown on a single-rack
+// testbed is a configuration error.
+func FaultPlan(seed int64, rate float64, n int, kinds ...FaultKind) ScenarioOption {
+	return func(s *Scenario) {
+		if rate <= 0 {
+			s.fail(fmt.Errorf("datampi: FaultPlan rate must be positive, got %v", rate))
+			return
+		}
+		if n < 1 {
+			s.fail(fmt.Errorf("datampi: FaultPlan needs at least one fault, got %d", n))
+			return
+		}
+		if len(kinds) == 0 {
+			kinds = []FaultKind{FaultNodeDown, FaultRackDown, FaultFlap}
+		}
+		racks := s.tb.Cluster.Racks()
+		var usable []FaultKind
+		for _, k := range kinds {
+			switch k {
+			case FaultNodeDown, FaultFlap:
+				usable = append(usable, k)
+			case FaultRackDown:
+				if racks > 1 {
+					usable = append(usable, k)
+				}
+			default:
+				s.fail(fmt.Errorf("datampi: FaultPlan: unknown fault kind %d", int(k)))
+				return
+			}
+		}
+		if len(usable) == 0 {
+			s.fail(fmt.Errorf("datampi: FaultPlan: rack faults need a multi-rack testbed (have %d rack)", racks))
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		nodes := s.tb.Cluster.N()
+		at := 0.0
+		for i := 0; i < n; i++ {
+			at += -math.Log(1-rng.Float64()) / rate
+			outage := 15 + 30*rng.Float64()
+			switch usable[rng.Intn(len(usable))] {
+			case FaultNodeDown:
+				node := rng.Intn(nodes)
+				s.events = append(s.events,
+					timedEvent{at: at, ev: NodeDown(node)},
+					timedEvent{at: at + outage, ev: NodeUp(node)})
+			case FaultRackDown:
+				rack := rng.Intn(racks)
+				s.events = append(s.events,
+					timedEvent{at: at, ev: RackDown(rack)},
+					timedEvent{at: at + outage, ev: RackUp(rack)})
+			case FaultFlap:
+				node := rng.Intn(nodes)
+				down := 3 + 9*rng.Float64() // short enough to beat slack detection delays sometimes
+				s.events = append(s.events,
+					timedEvent{at: at, ev: Flap(node, down, outage/2, 2)})
+			}
+		}
+	}
+}
+
 // WithPolicy selects the slot-contention policy (FIFO or Fair; the
 // default is FIFO).
 func WithPolicy(p Policy) ScenarioOption {
@@ -512,6 +730,13 @@ type RecoveryStats struct {
 	BlocksLost         int     // blocks that lost every replica
 	BytesLost          float64 // nominal bytes of those blocks
 	TasksRecomputed    int     // settled tasks re-executed for lost outputs
+	// Rejoin reconciliation and bounded-retry accounting (this run only;
+	// per-testbed counters are deltaed across the scenario).
+	StaleReplicasPruned  int // outdated replicas dropped when their node rejoined
+	ExcessReplicasPruned int // over-factor replicas trimmed after rejoin races
+	RepairsCancelled     int // queued monitor repairs a rejoin made redundant
+	CacheRecomputes      int // cached partitions recomputed after executor loss
+	PermanentFailures    int // tasks that exhausted their node-failure retries
 }
 
 // Report is a completed scenario's structured outcome.
@@ -588,6 +813,12 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "recovery: %d blocks re-replicated (%.0f MB), %d blocks lost (%.0f MB), %d tasks recomputed\n",
 			rc.BlocksRereplicated, rc.BytesRereplicated/(1<<20),
 			rc.BlocksLost, rc.BytesLost/(1<<20), rc.TasksRecomputed)
+		if rc.StaleReplicasPruned+rc.ExcessReplicasPruned+rc.RepairsCancelled+
+			rc.CacheRecomputes+rc.PermanentFailures > 0 {
+			fmt.Fprintf(&b, "rejoin: %d stale + %d excess replicas pruned, %d repairs cancelled, %d cache partitions recomputed, %d permanent task failures\n",
+				rc.StaleReplicasPruned, rc.ExcessReplicasPruned, rc.RepairsCancelled,
+				rc.CacheRecomputes, rc.PermanentFailures)
+		}
 	}
 	return b.String()
 }
@@ -644,6 +875,7 @@ func (s *Scenario) Run() (*Report, error) {
 
 	eng := s.tb.Cluster.Eng
 	runStart := eng.Now()
+	stale0, excess0 := s.tb.FS.PruneStats()
 	var mon *dfs.ReplicationMonitor
 	if s.monCfg != nil {
 		// Attached before any event can fire; detached after the run so
@@ -799,6 +1031,11 @@ func (s *Scenario) Run() (*Report, error) {
 
 	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted()}
 	rep.Recovery.TasksRecomputed = rep.Tracker.Recomputes
+	rep.Recovery.CacheRecomputes = rep.Tracker.CacheRecomputes
+	rep.Recovery.PermanentFailures = rep.Tracker.PermanentFails
+	stale1, excess1 := s.tb.FS.PruneStats()
+	rep.Recovery.StaleReplicasPruned = stale1 - stale0
+	rep.Recovery.ExcessReplicasPruned = excess1 - excess0
 	if mon != nil {
 		mon.Stop()
 		ms := mon.Stats()
@@ -806,6 +1043,7 @@ func (s *Scenario) Run() (*Report, error) {
 		rep.Recovery.BytesRereplicated = ms.BytesRereplicated
 		rep.Recovery.BlocksLost = ms.BlocksLost
 		rep.Recovery.BytesLost = ms.BytesLost
+		rep.Recovery.RepairsCancelled = ms.RepairsCancelled
 	}
 	for _, te := range q.Timeline() {
 		rep.Timeline = append(rep.Timeline, TimelineEntry{T: te.T - runStart, Name: te.Name})
