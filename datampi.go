@@ -38,6 +38,7 @@ import (
 	"github.com/datampi/datampi-go/internal/rdd"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Byte-size constants.
@@ -101,6 +102,36 @@ type (
 	// Fidelity selects the simulation kernel's fluid allocators
 	// (FidelityFast or FidelityReference).
 	Fidelity = sim.Fidelity
+	// TransportProfile is one engine's staged communication cost
+	// profile (serialize/copy/wire/deserialize stages, zero-copy
+	// threshold, pipelining); see WithTransport.
+	TransportProfile = transport.Profile
+	// TransportStats carries the staged-transport counters a scenario
+	// accumulated (Report.Transport).
+	TransportStats = transport.Stats
+	// TransportPipeline overrides a profile's pipelined-shuffle flag at
+	// scenario level (PipelineProfile, PipelineOn, PipelineOff).
+	TransportPipeline = transport.PipelineMode
+)
+
+// Per-engine staged transport profiles (see internal/transport).
+var (
+	// HadoopTransport is the MapReduce copy+buffer shuffle path.
+	HadoopTransport = transport.HadoopProfile
+	// SparkTransport is the serialized-shuffle path.
+	SparkTransport = transport.SparkProfile
+	// DataMPITransport is the zero-copy-eligible buffered native path.
+	DataMPITransport = transport.DataMPIProfile
+)
+
+// Pipelined-shuffle overrides for TransportConfig.Pipeline.
+const (
+	// PipelineProfile follows each engine profile's Pipelined flag.
+	PipelineProfile = transport.PipelineProfile
+	// PipelineOn forces pipelined shuffle on staged transports.
+	PipelineOn = transport.PipelineOn
+	// PipelineOff forces fetch-at-completion.
+	PipelineOff = transport.PipelineOff
 )
 
 // Kernel fidelities for TestbedConfig.Fidelity.

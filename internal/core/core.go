@@ -35,6 +35,7 @@ import (
 	"github.com/datampi/datampi-go/internal/mpi"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Config is the DataMPI cost/configuration profile.
@@ -74,6 +75,13 @@ type Config struct {
 	FailATask int
 	// RestartDelay is the time to detect a failed task and respawn it.
 	RestartDelay float64
+
+	// Transport overrides the engine's staged communication profile
+	// (transport.DataMPIProfile when unset, i.e. Name == ""). The
+	// legacy CPUPerByteEmit field above is a deprecated alias: when
+	// Transport is unset it populates the profile's EmitCPUPerByte, so
+	// existing callers keep their exact serialization cost.
+	Transport transport.Profile
 }
 
 // DefaultConfig returns the calibrated DataMPI profile.
@@ -109,14 +117,24 @@ type Engine struct {
 
 	daemons   *sched.Residency // per-node runtime residency across jobs
 	profiling sched.Profiling  // refcounted sampling across jobs
+	tp        *transport.Transport
 }
 
 var _ sched.Engine = (*Engine)(nil)
 
 // New creates a DataMPI engine over a filesystem.
 func New(fs *dfs.FS, cfg Config) *Engine {
-	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+	prof := cfg.Transport
+	if prof.Name == "" {
+		prof = transport.DataMPIProfile()
+		prof.EmitCPUPerByte = cfg.CPUPerByteEmit // deprecated alias
+	}
+	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg, tp: transport.New(fs.Cluster(), prof)}
 }
+
+// Transport exposes the engine's staged communication model (disabled
+// by default; the scenario WithTransport knob switches it on).
+func (e *Engine) Transport() *transport.Transport { return e.tp }
 
 // Name implements job.Engine.
 func (e *Engine) Name() string { return "DataMPI" }
@@ -408,7 +426,9 @@ func (e *Engine) buildWorld(nO, nA int) *mpi.World {
 	for a := 0; a < nA; a++ {
 		nodeOf[nO+a] = a % e.C.N()
 	}
-	return mpi.NewWorld(e.C, nodeOf)
+	w := mpi.NewWorld(e.C, nodeOf)
+	w.SetTransport(e.tp)
+	return w
 }
 
 // assignSplits maps input blocks to O ranks: blocks go to nodes with
@@ -479,7 +499,7 @@ func (e *Engine) runOTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 		sendBufHeld += sendBufMem
 
 		cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteO*spec.MapCPUFactor*inflatedNominal +
-			cfg.CPUPerByteEmit*emittedNominal +
+			e.tp.Profile().EmitCPUPerByte*emittedNominal +
 			cfg.CPUPerRecord*nominalRecords)
 
 		var wg sim.WaitGroup
@@ -499,7 +519,8 @@ func (e *Engine) runOTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 					nominal += float64(pr.Size()+6) * emitScale
 				}
 				sg.Add(1)
-				w.IsendFrom(node, rank, nO+a, splitTag(blk), nominal, parts[a], sg.Done)
+				w.IsendFromRecords(node, rank, nO+a, splitTag(blk), nominal,
+					float64(len(parts[a]))*emitScale, parts[a], sg.Done)
 			}
 		}
 		if !mapOnly && !cfg.DisablePipelining {

@@ -20,6 +20,7 @@ import (
 	"github.com/datampi/datampi-go/internal/rdd"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Options tune an experiment run.
@@ -195,6 +196,10 @@ type RigConfig struct {
 	// the fast incremental path; sim.FidelityReference runs the original
 	// rescan allocators (the differential battery runs both).
 	Fidelity sim.Fidelity
+	// Transport overrides the engine's staged-transport profile. The
+	// zero value keeps each framework's default profile (with the
+	// engine's legacy emit constant as the alias target).
+	Transport transport.Profile
 }
 
 // NewRig builds a rig for one framework.
@@ -236,6 +241,7 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	case Hadoop:
 		cfg := mr.DefaultConfig()
 		cfg.TasksPerNode = rc.TasksPerNode
+		cfg.Transport = rc.Transport
 		e := mr.New(fsys, cfg)
 		e.Prof = r.Prof
 		r.MR = e
@@ -243,6 +249,7 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	case Spark:
 		cfg := rdd.DefaultConfig()
 		cfg.WorkersPerNode = rc.TasksPerNode
+		cfg.Transport = rc.Transport
 		e := rdd.New(fsys, cfg)
 		e.Prof = r.Prof
 		r.RDD = e
@@ -250,6 +257,7 @@ func NewRig(fw Framework, rc RigConfig) *Rig {
 	case DataMPI:
 		cfg := core.DefaultConfig()
 		cfg.TasksPerNode = rc.TasksPerNode
+		cfg.Transport = rc.Transport
 		e := core.New(fsys, cfg)
 		e.Prof = r.Prof
 		r.DM = e

@@ -80,6 +80,7 @@ type scaleSlot struct {
 	cur      int
 	stepDisk func()
 	stepNet  func()
+	stepZero func()
 	stepDone func()
 }
 
@@ -95,7 +96,14 @@ func newScaleSlot(h *scaleHarness, node int) *scaleSlot {
 	}
 	s.stepNet = func() {
 		dst := s.rackBase + int(h.script.dstOff[s.cur])%s.rackSize
-		h.fabric.StartFlow(s.node, dst, h.script.netBytes[s.cur], s.stepDone)
+		h.fabric.StartFlow(s.node, dst, h.script.netBytes[s.cur], s.stepZero)
+	}
+	s.stepZero = func() {
+		// Empty-partition send: zero-byte flows are common under the
+		// staged transport, so the alloc guard covers their pooled
+		// handles too.
+		dst := s.rackBase + int(h.script.dstOff[s.cur])%s.rackSize
+		h.fabric.StartFlow(s.node, dst, 0, s.stepDone)
 	}
 	s.stepDone = func() {
 		h.done++
@@ -222,7 +230,7 @@ func init() {
 			rep.Notes = append(rep.Notes,
 				fmt.Sprintf("bytes/task growth across a %.0fx task-count increase: %.2fx (flat = pooled kernel)",
 					float64(large.Tasks)/float64(small.Tasks), growth),
-				"tasks run cpu->disk->rack-local-transfer chains through prebound callbacks; timers, PS flows and fabric flows all recycle through free lists")
+				"tasks run cpu->disk->rack-local-transfer->zero-byte-send chains through prebound callbacks; timers, PS flows and fabric flows (zero-byte handles included) all recycle through free lists")
 			if growth > 1.25 {
 				rep.Notes = append(rep.Notes,
 					fmt.Sprintf("WARNING: bytes/task grew %.2fx across scales — pooling regression?", growth))

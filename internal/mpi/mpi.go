@@ -15,6 +15,7 @@ import (
 
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // AnySource matches any sender in Recv.
@@ -44,6 +45,10 @@ type World struct {
 	// LatencySecs is the per-message software latency (MPI stack +
 	// protocol), charged once per Send.
 	LatencySecs float64
+
+	// tp, when set and enabled, routes sends through the staged
+	// transport model instead of the bare fabric flow.
+	tp *transport.Transport
 }
 
 // NewWorld creates a world of len(nodeOf) ranks; nodeOf[r] is the cluster
@@ -115,10 +120,23 @@ func (w *World) Isend(from, to, tag int, nominalBytes float64, payload any, onDo
 	w.IsendFrom(w.nodeOf[from], from, to, tag, nominalBytes, payload, onDone)
 }
 
+// SetTransport attaches a staged transport model: when it is enabled,
+// sends run serialize/copy (or zero-copy) stages before the wire and
+// deserialize after it. Nil or disabled keeps the bare fabric path.
+func (w *World) SetTransport(tp *transport.Transport) { w.tp = tp }
+
 // IsendFrom is Isend with the source node overridden: a speculative
 // backup attempt executing rank from on a different node streams its
 // partitions over that node's links, not the rank's home links.
 func (w *World) IsendFrom(srcNode, from, to, tag int, nominalBytes float64, payload any, onDone func()) {
+	w.IsendFromRecords(srcNode, from, to, tag, nominalBytes, 0, payload, onDone)
+}
+
+// IsendFromRecords is IsendFrom with the payload's nominal record
+// count, which the staged transport uses for per-record costs and the
+// zero-copy eligibility check (records <= 0 means one contiguous
+// buffer).
+func (w *World) IsendFromRecords(srcNode, from, to, tag int, nominalBytes, nominalRecords float64, payload any, onDone func()) {
 	if from < 0 || from >= len(w.nodeOf) || to < 0 || to >= len(w.nodeOf) {
 		panic(fmt.Sprintf("mpi: Isend with invalid ranks %d->%d", from, to))
 	}
@@ -129,14 +147,19 @@ func (w *World) IsendFrom(srcNode, from, to, tag int, nominalBytes float64, payl
 			onDone()
 		}
 	}
-	dstNode := w.nodeOf[to]
-	w.c.Net.StartFlow(srcNode, dstNode, nominalBytes, func() {
+	arrive := func() {
 		if w.LatencySecs > 0 {
 			w.c.Eng.Post(w.LatencySecs, deliver)
 		} else {
 			deliver()
 		}
-	})
+	}
+	dstNode := w.nodeOf[to]
+	if w.tp.Enabled() {
+		w.tp.Send(srcNode, dstNode, nominalBytes, nominalRecords, arrive)
+		return
+	}
+	w.c.Net.StartFlow(srcNode, dstNode, nominalBytes, arrive)
 }
 
 // Send is the blocking form of Isend: it parks the proc until the

@@ -22,6 +22,7 @@ import (
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Config is the Hadoop cost/configuration profile. Defaults follow the
@@ -58,6 +59,15 @@ type Config struct {
 	DaemonMem      float64 // TaskTracker + DataNode residency per node
 
 	OutputReplication int
+
+	// Transport overrides the engine's staged communication profile
+	// (transport.HadoopProfile when unset, i.e. Name == ""). The
+	// CPUPerByteSort field above is mr's inline serialization constant:
+	// when Transport is unset it populates the profile's EmitCPUPerByte
+	// (map-side spill/output serialization), so existing callers keep
+	// their exact cost. Merge passes still read CPUPerByteSort directly
+	// — merging is sorting, not serialization.
+	Transport transport.Profile
 }
 
 // DefaultConfig returns the calibrated Hadoop profile.
@@ -96,14 +106,24 @@ type Engine struct {
 
 	daemons   *sched.Residency // TaskTracker/DataNode residency across jobs
 	profiling sched.Profiling  // refcounted sampling across jobs
+	tp        *transport.Transport
 }
 
 var _ sched.Engine = (*Engine)(nil)
 
 // New creates an engine over a cluster and filesystem.
 func New(fs *dfs.FS, cfg Config) *Engine {
-	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+	prof := cfg.Transport
+	if prof.Name == "" {
+		prof = transport.HadoopProfile()
+		prof.EmitCPUPerByte = cfg.CPUPerByteSort // deprecated alias
+	}
+	return &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg, tp: transport.New(fs.Cluster(), prof)}
 }
+
+// Transport exposes the engine's staged communication model (disabled
+// by default; the scenario WithTransport knob switches it on).
+func (e *Engine) Transport() *transport.Transport { return e.tp }
 
 // Name implements job.Engine.
 func (e *Engine) Name() string { return "Hadoop" }
@@ -121,6 +141,7 @@ type mapOutput struct {
 	node    int
 	parts   [][]kv.Pair // sorted run per reducer
 	nominal []float64   // nominal bytes per partition
+	records []float64   // nominal records per partition (staged transport)
 	invalid bool        // lost with its node; a recompute entry supersedes it
 }
 
@@ -201,9 +222,13 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	var jobWG sim.WaitGroup
 	var jobErr error
 	failed := func() bool { return jobErr != nil }
+	var board *transport.Board // pipelined-shuffle stream board, set in the driver
 	fail := func(err error) {
 		if jobErr == nil {
 			jobErr = err
+		}
+		if board != nil {
+			board.FailAll() // unblock reducers parked on stream commits
 		}
 		outputsCond.Broadcast() // unblock reducers waiting for map outputs
 	}
@@ -232,6 +257,12 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 			nReduce = spec.Reducers
 		}
 
+		// Pipelined shuffle (staged transport with pipelining on): map
+		// attempts publish output streams reducers fetch block by block.
+		if nReduce > 0 && e.tp.Pipelined() {
+			board = e.tp.NewBoard(func() { outputsCond.Broadcast() })
+		}
+
 		jobWG.Add(nMaps)
 		for mi := 0; mi < nMaps; mi++ {
 			mi := mi
@@ -247,7 +278,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				Restartable: true,
 				CommitFS:    e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
-					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce)
+					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce, mi, board)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("maps", 1)
@@ -299,7 +330,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				Restartable: true,
 				CommitFS:    e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
-					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce)
+					return e.runMapTask(p, att, &spec, blocks[mi], att.Node(), nReduce, mi, board)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("maps_recomputed", 1)
@@ -348,7 +379,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				},
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
 					return e.runReduceTask(p, att, &spec, ri, att.Node(), nMaps, &outputs, &outputsCond, failed, res,
-						nodeAlive, altOutputs, recoverMap)
+						nodeAlive, altOutputs, recoverMap, board)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					// Commit order mirrors the pre-tracker task body: output
@@ -406,7 +437,7 @@ func (e *Engine) releaseDaemons() { e.daemons.Release() }
 // final merged output written to the local disk. The body is restartable:
 // it derives everything from the immutable block and its own collector,
 // so a speculative attempt can re-run it on another node.
-func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk *dfs.Block, node int, nReduce int) (*mapOutput, error) {
+func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk *dfs.Block, node, nReduce, mi int, board *transport.Board) (*mapOutput, error) {
 	cfg := &e.Cfg
 	scale := e.scale()
 	p.Sleep(cfg.TaskLaunch)
@@ -436,6 +467,7 @@ func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk
 	emitScale := spec.EmitScale()
 	outActual := 0
 	nominal := make([]float64, nParts)
+	records := make([]float64, nParts)
 	for pi, part := range parts {
 		b := 0
 		for _, pr := range part {
@@ -443,6 +475,7 @@ func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk
 		}
 		outActual += b
 		nominal[pi] = float64(b) * emitScale
+		records[pi] = float64(len(part)) * emitScale
 	}
 
 	// Task heap residency: base JVM plus garbage proportional to the
@@ -456,39 +489,111 @@ func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk
 	mem.MustAlloc(heap)
 	defer mem.FreeLazy(e.C.Eng, heap, cfg.HeapLingerSecs)
 
+	// Spill/output serialization reads the consolidated profile constant
+	// (CPUPerByteSort populates it as a deprecated alias).
 	cpuSec := spec.CPUAdjust(e.Name()) * (cfg.CPUPerByteMap*spec.MapCPUFactor*inflatedNominal +
 		cfg.CPUPerRecord*nominalRecords +
-		cfg.CPUPerByteSort*(float64(spillActual+outActual)*emitScale))
+		e.tp.Profile().EmitCPUPerByte*(float64(spillActual+outActual)*emitScale))
 
-	var wg sim.WaitGroup
-	// Split read (disk at replica + network if remote).
-	if err := e.FS.StartRead(blk, node, &wg); err != nil {
-		return nil, err
-	}
-	// Map + sort CPU, single-threaded.
-	wg.Add(1)
-	e.C.Node(node).CPU.Start(cpuSec, wg.Done)
-	// Background JVM/GC overhead contends for CPU in parallel; memory
-	// pressure beyond 60% of node RAM adds GC storms on top.
-	if gc := e.gcOverhead(node, cpuSec); gc > 0 {
-		wg.Add(1)
-		e.C.Node(node).CPU.Start(gc, wg.Done)
-	}
 	// Spill and final map output writes to local disk. If there were
 	// intermediate spills, the merge re-reads them before the final write.
 	diskBytes := float64(spillActual+outActual) * emitScale
 	mergeRead := float64(mergeActual) * emitScale
-	if diskBytes+mergeRead > 0 {
-		wg.Add(1)
-		e.C.Node(node).Disk.Start(diskBytes+mergeRead, wg.Done)
+	// Background JVM/GC overhead contends for CPU in parallel; memory
+	// pressure beyond 60% of node RAM adds GC storms on top.
+	gc := e.gcOverhead(node, cpuSec)
+	outNominalTotal := 0.0
+	outRecords := 0.0
+	for pi := range nominal {
+		outNominalTotal += nominal[pi]
+		outRecords += records[pi]
+	}
+
+	// Pipelined shuffle: the winning-eligible first attempt publishes a
+	// stream and commits output blocks as they land, so reducers fetch
+	// while this map still computes. Backups run the legacy lump shape —
+	// their output only matters if they win the photo finish.
+	var st *transport.Stream
+	if board != nil && !att.Backup() {
+		st = board.Open(mi, node, nominal, outRecords)
+		// Fail is a no-op after Finish; this covers error and kill unwinds.
+		defer st.Fail()
+	}
+
+	if st != nil {
+		// Block-granularity chunks: every resource charge is split evenly
+		// (same totals as the lump path) and a fraction commits per chunk.
+		nChunks := 1
+		if bb := e.tp.PipelineBlock(); outNominalTotal > bb {
+			nChunks = int(outNominalTotal/bb) + 1
+			if nChunks > 16 {
+				nChunks = 16
+			}
+		}
+		k := float64(nChunks)
+		for ci := 0; ci < nChunks; ci++ {
+			var cw sim.WaitGroup
+			if ci == 0 {
+				// The split read overlaps the first chunk.
+				if err := e.FS.StartRead(blk, node, &cw); err != nil {
+					return nil, err
+				}
+			}
+			cw.Add(1)
+			e.C.Node(node).CPU.Start(cpuSec/k, cw.Done)
+			if gc > 0 {
+				cw.Add(1)
+				e.C.Node(node).CPU.Start(gc/k, cw.Done)
+			}
+			if diskBytes+mergeRead > 0 {
+				cw.Add(1)
+				e.C.Node(node).Disk.Start((diskBytes+mergeRead)/k, cw.Done)
+			}
+			if e.tp.Enabled() && outNominalTotal > 0 {
+				cw.Add(1)
+				e.tp.SendStages(node, outNominalTotal/k, outRecords/k, cw.Done)
+			}
+			p.BlockReason = "disk"
+			cw.Wait(p)
+			p.BlockReason = ""
+			st.Commit(float64(ci+1) / k)
+		}
 		if e.Prof != nil {
 			e.Prof.AddDiskWrite(node, diskBytes)
 			e.Prof.AddDiskRead(node, mergeRead)
 		}
+		st.Finish()
+	} else {
+		var wg sim.WaitGroup
+		// Split read (disk at replica + network if remote).
+		if err := e.FS.StartRead(blk, node, &wg); err != nil {
+			return nil, err
+		}
+		// Map + sort CPU, single-threaded.
+		wg.Add(1)
+		e.C.Node(node).CPU.Start(cpuSec, wg.Done)
+		if gc > 0 {
+			wg.Add(1)
+			e.C.Node(node).CPU.Start(gc, wg.Done)
+		}
+		if diskBytes+mergeRead > 0 {
+			wg.Add(1)
+			e.C.Node(node).Disk.Start(diskBytes+mergeRead, wg.Done)
+			if e.Prof != nil {
+				e.Prof.AddDiskWrite(node, diskBytes)
+				e.Prof.AddDiskRead(node, mergeRead)
+			}
+		}
+		if e.tp.Enabled() && !mapOnly && outNominalTotal > 0 {
+			// Staged sender-side path: serialize + copy the map output
+			// into the shuffle servlet's transfer buffers.
+			wg.Add(1)
+			e.tp.SendStages(node, outNominalTotal, outRecords, wg.Done)
+		}
+		p.BlockReason = "disk"
+		wg.Wait(p)
+		p.BlockReason = ""
 	}
-	p.BlockReason = "disk"
-	wg.Wait(p)
-	p.BlockReason = ""
 
 	if mapOnly && spec.Output != "" {
 		// Map-only job: write this task's output to its attempt-scoped
@@ -504,7 +609,7 @@ func (e *Engine) runMapTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, blk
 			return nil, err
 		}
 	}
-	return &mapOutput{node: node, parts: parts, nominal: nominal}, nil
+	return &mapOutput{node: node, parts: parts, nominal: nominal, records: records}, nil
 }
 
 // reduceOut is a finished reduce body's result, handed to the winning
@@ -532,7 +637,7 @@ type reduceOut struct {
 // later entry in the shared slice, so the reducer just keeps scanning.
 func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, ri, node, nMaps int,
 	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result,
-	alive func(int) bool, alts map[int][]*mapOutput, recover func(*mapOutput)) (any, error) {
+	alive func(int) bool, alts map[int][]*mapOutput, recover func(*mapOutput), board *transport.Board) (any, error) {
 	cfg := &e.Cfg
 
 	mem := e.C.Node(node).Mem
@@ -555,18 +660,89 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 			release()
 		}
 	}()
+	streamed := make(map[int]bool) // map indexes fully fetched via pipelined streams
+	nextStream := 0
+	// account applies the post-fetch shuffle-buffer bookkeeping for nom
+	// bytes pulled into memory (spilling past the buffer cap).
+	account := func(nom float64) {
+		res.AddCounter("shuffle_bytes_nominal", int64(nom))
+		bufferedNominal += nom
+		bufferedMem += nom
+		mem.MustAlloc(nom)
+		if bufferedNominal > cfg.ReduceBufferBytes {
+			// In-memory buffer overflow: spill merged runs to local disk.
+			e.C.Node(node).Disk.Use(p, bufferedNominal, "shuffle-io")
+			if e.Prof != nil {
+				e.Prof.AddDiskWrite(node, bufferedNominal)
+			}
+			spilledNominal += bufferedNominal
+			bufferedNominal = 0
+			mem.Free(bufferedMem)
+			bufferedMem = 0
+		}
+	}
+	// drainStreams block-fetches every newly published pipelined stream
+	// in order, pulling committed blocks while the maps still compute. A
+	// stream that fails mid-fetch (killed attempt, dead node) is simply
+	// abandoned: the outputs scan below covers its map the legacy way.
+	drainStreams := func() {
+		for nextStream < len(board.Streams()) {
+			s := board.Streams()[nextStream]
+			nextStream++
+			mi := s.Producer()
+			if seen[mi] || streamed[mi] || s.Failed() {
+				continue
+			}
+			if s.PartNominal(ri) == 0 {
+				streamed[mi] = true // empty partition: adopt pairs at scan time
+				continue
+			}
+			p.BlockReason = "shuffle-io"
+			got, ok := s.Fetch(p, ri, node, func(src int, chunk float64) {
+				if e.Prof != nil {
+					e.Prof.AddDiskRead(src, chunk)
+				}
+			})
+			p.BlockReason = ""
+			if !ok {
+				continue
+			}
+			streamed[mi] = true
+			account(got)
+		}
+	}
 	for len(seen) < nMaps {
+		if board != nil {
+			drainStreams()
+		}
 		for idx >= len(*outputs) {
 			if failed() {
 				return nil, nil
 			}
+			if board != nil && nextStream < len(board.Streams()) {
+				break // a new stream was published; drain it first
+			}
 			cond.Wait(p, "shuffle-wait")
+		}
+		if idx >= len(*outputs) {
+			continue
 		}
 		att.Report(0.8 * float64(len(seen)) / float64(nMaps))
 		mo := (*outputs)[idx]
 		idx++
 		if seen[mo.mi] {
 			continue // a recompute superseded an entry this attempt already fetched
+		}
+		if streamed[mo.mi] {
+			// Already fetched block-by-block from the pipelined stream.
+			// Map bodies are deterministic, so the winner's materialized
+			// pairs are identical to what streamed; adopt them without
+			// re-charging fetch I/O.
+			seen[mo.mi] = true
+			if len(mo.parts[ri]) > 0 {
+				runs = append(runs, mo.parts[ri])
+			}
+			continue
 		}
 		nom := mo.nominal[ri]
 		if nom > 0 && !alive(mo.node) {
@@ -601,7 +777,12 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 		var wg sim.WaitGroup
 		wg.Add(1)
 		e.C.Node(mo.node).Disk.Start(nom, wg.Done)
-		if mo.node != node {
+		if e.tp.Enabled() {
+			// Staged path: wire (remote only) + deserialize with
+			// per-record Writable costs on the reduce side.
+			wg.Add(1)
+			e.tp.FetchStages(mo.node, node, nom, mo.records[ri], wg.Done)
+		} else if mo.node != node {
 			wg.Add(1)
 			e.C.Net.StartFlow(mo.node, node, nom, wg.Done)
 		}
@@ -613,21 +794,7 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 		p.BlockReason = ""
 
 		runs = append(runs, mo.parts[ri])
-		res.AddCounter("shuffle_bytes_nominal", int64(nom))
-		bufferedNominal += nom
-		bufferedMem += nom
-		mem.MustAlloc(nom)
-		if bufferedNominal > cfg.ReduceBufferBytes {
-			// In-memory buffer overflow: spill merged runs to local disk.
-			e.C.Node(node).Disk.Use(p, bufferedNominal, "shuffle-io")
-			if e.Prof != nil {
-				e.Prof.AddDiskWrite(node, bufferedNominal)
-			}
-			spilledNominal += bufferedNominal
-			bufferedNominal = 0
-			mem.Free(bufferedMem)
-			bufferedMem = 0
-		}
+		account(nom)
 	}
 	att.Report(0.8)
 

@@ -470,7 +470,12 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 			if e.Prof != nil {
 				e.Prof.AddDiskRead(pd.node, pd.nominal)
 			}
-			if pd.node != node {
+			if e.tp.Enabled() {
+				// Staged path: wire (remote only) + deserialize on the
+				// fetching worker, with per-record costs.
+				fw.Add(1)
+				e.tp.FetchStages(pd.node, node, pd.nominal, pd.records, fw.Done)
+			} else if pd.node != node {
 				fw.Add(1)
 				e.C.Net.StartFlow(pd.node, node, pd.nominal, fw.Done)
 			}
@@ -626,13 +631,16 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 	parts, _, _ := coll.Finish()
 	out := make([]partData, next.nParts)
 	writeNominal := 0.0
+	writeRecords := 0.0
 	for pi, part := range parts {
 		nom := 0.0
 		for _, pr := range part {
 			nom += float64(pr.Size()+6) * shufScale
 		}
 		writeNominal += nom
-		out[pi] = partData{pairs: part, nominal: nom, node: node, taskIdx: taskIdx}
+		recs := float64(len(part)) * shufScale
+		writeRecords += recs
+		out[pi] = partData{pairs: part, nominal: nom, records: recs, node: node, taskIdx: taskIdx}
 	}
 	if writeNominal > 0 {
 		wg.Add(1)
@@ -640,10 +648,17 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 		if e.Prof != nil {
 			e.Prof.AddDiskWrite(node, writeNominal)
 		}
-		// Shuffle-write serialization runs on the shuffle writer thread.
-		if cfg.CPUPerByteShuffle > 0 {
+		// Shuffle-write serialization runs on the shuffle writer thread
+		// (the consolidated emit constant, charged in both modes).
+		if emit := e.tp.Profile().EmitCPUPerByte; emit > 0 {
 			wg.Add(1)
-			e.C.Node(node).CPU.Start(cfg.CPUPerByteShuffle*writeNominal, wg.Done)
+			e.C.Node(node).CPU.Start(emit*writeNominal, wg.Done)
+		}
+		if e.tp.Enabled() {
+			// Staged sender-side path on top: serialize + copy (or
+			// zero-copy) into the shuffle file's transfer buffers.
+			wg.Add(1)
+			e.tp.SendStages(node, writeNominal, writeRecords, wg.Done)
 		}
 	}
 	p.BlockReason = "disk"

@@ -21,6 +21,7 @@ import (
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Config is the Spark cost/configuration profile.
@@ -31,10 +32,14 @@ type Config struct {
 	TaskDispatch float64 // per-task scheduling (s) — milliseconds in Spark
 	JobFinalize  float64
 
-	CPUPerByteMap     float64
-	CPUPerByteReduce  float64
-	CPUPerByteSort    float64
-	CPUPerByteShuffle float64 // shuffle-write serialization per nominal byte
+	CPUPerByteMap    float64
+	CPUPerByteReduce float64
+	CPUPerByteSort   float64
+	// CPUPerByteShuffle is the shuffle-write serialization cost per
+	// nominal byte. Deprecated alias: when Transport is unset it
+	// populates the profile's EmitCPUPerByte, so existing callers keep
+	// their exact cost.
+	CPUPerByteShuffle float64
 	CacheCPUPerByte   float64 // building cached RDD objects per nominal byte
 	CPUPerRecord      float64
 	GCFactor          float64
@@ -51,6 +56,10 @@ type Config struct {
 	GCLagSecs          float64 // transient garbage lingers this long
 
 	ShuffleBufferBytes float64 // reduce-side fetch buffer before spilling
+
+	// Transport overrides the engine's staged communication profile
+	// (transport.SparkProfile when unset, i.e. Name == "").
+	Transport transport.Profile
 }
 
 // DefaultConfig returns the calibrated Spark profile. WorkerHeap follows
@@ -97,14 +106,25 @@ type Engine struct {
 	// cachedRDDs registers every RDD materialized into executor memory,
 	// so a node failure can drop the partitions that died with it.
 	cachedRDDs []*RDD
+
+	tp *transport.Transport
 }
+
+// Transport exposes the engine's staged communication model (disabled
+// by default; the scenario WithTransport knob switches it on).
+func (e *Engine) Transport() *transport.Transport { return e.tp }
 
 // New creates an engine (a SparkContext, in effect) over a filesystem.
 // The engine subscribes to datanode failures: executors are co-located
 // with datanodes, so a node going down also loses the executor cache
 // partitions it held (see dropCachesOn).
 func New(fs *dfs.FS, cfg Config) *Engine {
-	e := &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg}
+	prof := cfg.Transport
+	if prof.Name == "" {
+		prof = transport.SparkProfile()
+		prof.EmitCPUPerByte = cfg.CPUPerByteShuffle // deprecated alias
+	}
+	e := &Engine{C: fs.Cluster(), FS: fs, Cfg: cfg, tp: transport.New(fs.Cluster(), prof)}
 	fs.OnNodeEvent(func(node int, down bool) {
 		if down {
 			e.dropCachesOn(node)
@@ -197,6 +217,7 @@ type wideOp struct {
 type partData struct {
 	pairs   []kv.Pair
 	nominal float64
+	records float64 // nominal record count (staged-transport per-record costs)
 	node    int
 	taskIdx int // producing task's index within its stage (shuffle recovery)
 }

@@ -57,6 +57,14 @@ type Fabric struct {
 	// reference allocator keeps its historical allocate-per-flow
 	// behavior untouched.
 	fpool []*Flow
+
+	// Zero-byte flow queue (fast path): empty-partition sends complete
+	// on the next event tick without ever registering on a link, but
+	// their handles are pooled too. One Post per flow of the prebound
+	// zfire func preserves callback order against interleaved events.
+	zq    []*Flow
+	zhead int
+	zfire func()
 }
 
 // fLink is one directed link's flow registry, kept sorted by
@@ -131,15 +139,57 @@ func (fb *Fabric) Transfer(p *Proc, src, dst int, bytes float64, reason string) 
 // in flight.
 func (fb *Fabric) StartFlow(src, dst int, bytes float64, onDone func()) *Flow {
 	if bytes <= workEpsilon {
-		// Nothing ever registers this flow, so it stays off the pool.
-		if onDone != nil {
-			fb.eng.Post(0, onDone)
+		// The flow never registers on a link; it completes on the next
+		// event tick. The fast path pools these handles like any other
+		// flow (empty-partition sends make them common): each queues
+		// FIFO behind one Post of the prebound zfire func, so callbacks
+		// interleave with other events exactly as direct Posts would.
+		if fb.ref || onDone == nil {
+			if onDone != nil {
+				fb.eng.Post(0, onDone)
+			}
+			return &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 		}
-		return &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
+		f := fb.acquireFlow()
+		*f = Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
+		if fb.zfire == nil {
+			fb.zfire = fb.zeroFire
+		}
+		fb.zq = append(fb.zq, f)
+		fb.eng.Post(0, fb.zfire)
+		return f
 	}
 	f := fb.newFlow(src, dst, bytes, onDone)
 	fb.startFlow(f)
 	return f
+}
+
+// zeroFire completes the oldest queued zero-byte flow: the handle goes
+// back to the pool before its callback runs (the callback may start new
+// flows that reuse it immediately).
+func (fb *Fabric) zeroFire() {
+	f := fb.zq[fb.zhead]
+	fb.zq[fb.zhead] = nil
+	fb.zhead++
+	if fb.zhead == len(fb.zq) {
+		fb.zq = fb.zq[:0]
+		fb.zhead = 0
+	}
+	cb := f.onDone
+	*f = Flow{}
+	fb.fpool = append(fb.fpool, f)
+	cb()
+}
+
+// acquireFlow pops a pooled flow handle or allocates a fresh one.
+func (fb *Fabric) acquireFlow() *Flow {
+	if n := len(fb.fpool); n > 0 {
+		f := fb.fpool[n-1]
+		fb.fpool[n-1] = nil
+		fb.fpool = fb.fpool[:n-1]
+		return f
+	}
+	return &Flow{}
 }
 
 // newFlow acquires a flow object: from the free list on the fast path,
@@ -148,14 +198,7 @@ func (fb *Fabric) newFlow(src, dst int, bytes float64, onDone func()) *Flow {
 	if fb.ref {
 		return &Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 	}
-	var f *Flow
-	if n := len(fb.fpool); n > 0 {
-		f = fb.fpool[n-1]
-		fb.fpool[n-1] = nil
-		fb.fpool = fb.fpool[:n-1]
-	} else {
-		f = &Flow{}
-	}
+	f := fb.acquireFlow()
 	*f = Flow{Src: src, Dst: dst, remaining: bytes, onDone: onDone}
 	return f
 }

@@ -188,3 +188,81 @@ func TestFabricDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroByteFlowOrdering pins the pooled zero-byte path's callback
+// semantics: completions fire in submission order (FIFO through the
+// ring), interleaved zero-byte sends never fire before a StartFlow
+// call returns, and the handles recycle through the flow pool.
+func TestZeroByteFlowOrdering(t *testing.T) {
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100)
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		fb.StartFlow(0, 1, 0, func() { order = append(order, i) })
+	}
+	if len(order) != 0 {
+		t.Fatal("zero-byte completion fired synchronously inside StartFlow")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("got %d completions, want 8", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("zero-byte completions out of order: %v", order)
+		}
+	}
+}
+
+// TestZeroByteFlowPooling checks the steady-state allocation behavior:
+// after warm-up, a zero-byte flow with a completion callback costs no
+// fresh Flow allocation on the fast path — the handle comes from and
+// returns to the free list.
+func TestZeroByteFlowPooling(t *testing.T) {
+	e := NewEngine()
+	fb := NewFabric(e, 4, 100)
+	fired := 0
+	cb := func() { fired++ }
+	// Warm the pools: the first round allocates the ring, the timer and
+	// the flow; later rounds must recycle all three.
+	for i := 0; i < 4; i++ {
+		fb.StartFlow(0, 1, 0, cb)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fb.StartFlow(0, 1, 0, cb)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state zero-byte flow allocates %.1f objects/op, want 0", allocs)
+	}
+	if fired < 100 {
+		t.Fatalf("callbacks did not run: %d", fired)
+	}
+}
+
+// TestZeroByteFlowReference checks the reference path keeps the legacy
+// allocate-per-flow behavior (goldens were pinned against it).
+func TestZeroByteFlowReference(t *testing.T) {
+	e := NewEngine()
+	e.SetFidelity(FidelityReference)
+	fb := NewFabric(e, 4, 100)
+	fired := false
+	f := fb.StartFlow(0, 1, 0, func() { fired = true })
+	if f == nil {
+		t.Fatal("reference StartFlow returned nil handle")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("reference zero-byte completion lost")
+	}
+}

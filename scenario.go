@@ -36,6 +36,7 @@ import (
 	"github.com/datampi/datampi-go/internal/dfs"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/transport"
 )
 
 // Dist is a latency-distribution summary (count, mean, nearest-rank
@@ -385,6 +386,7 @@ type Scenario struct {
 	events   []timedEvent
 	monCfg   *dfs.MonitorConfig
 	stream   bool
+	tpCfg    *TransportConfig
 	err      error
 }
 
@@ -684,6 +686,33 @@ func WithStreamingReport() ScenarioOption {
 	return func(s *Scenario) { s.stream = true }
 }
 
+// TransportConfig is the WithTransport knob: it switches the tenants'
+// engines onto the staged communication model for the scenario's
+// duration. Each engine keeps its own per-engine TransportProfile
+// (Hadoop copy+buffer, Spark serialized shuffle, DataMPI
+// zero-copy-eligible), set at engine construction via the engine
+// Config's Transport field.
+type TransportConfig struct {
+	// Enabled switches the staged serialize/copy/wire/deserialize
+	// accounting on. Off (the default everywhere else) keeps the legacy
+	// fluid-flow model bit-identical.
+	Enabled bool
+	// Pipeline overrides the profiles' pipelined-shuffle flag:
+	// PipelineProfile (default) follows each profile, PipelineOn forces
+	// map outputs fetchable as blocks commit, PipelineOff forces
+	// fetch-at-completion.
+	Pipeline TransportPipeline
+}
+
+// WithTransport applies a staged-transport configuration to every
+// tenant engine that supports it, for the duration of the run; prior
+// transport state is restored afterwards. Report.Transport carries the
+// run's staged counters (bytes serialized/copied/zero-copied, pipeline
+// overlap fraction).
+func WithTransport(cfg TransportConfig) ScenarioOption {
+	return func(s *Scenario) { s.tpCfg = &cfg }
+}
+
 // WithFidelity pins the simulation-kernel fidelity the scenario's timings
 // are captured against. Fidelity is a property of the testbed (set it in
 // TestbedConfig.Fidelity — resources snapshot it at construction), so the
@@ -763,6 +792,9 @@ type Report struct {
 	// Recovery carries the fault-recovery counters (DFS re-replication,
 	// data loss, task recomputation).
 	Recovery RecoveryStats
+	// Transport carries the staged-transport counters accumulated while
+	// the scenario ran (zero unless WithTransport enabled the model).
+	Transport TransportStats
 	// Start and End bracket the jobs: earliest arrival and latest
 	// completion, scenario-relative.
 	Start, End float64
@@ -809,6 +841,11 @@ func (r *Report) Render() string {
 	st := r.Tracker
 	fmt.Fprintf(&b, "tracker: %d tasks, %d backups (%d wins), %d kills, %d preemptions, %d retries\n",
 		st.Tasks, st.Backups, st.BackupWins, st.Kills, st.Preemptions, st.Retries)
+	if tp := r.Transport; tp.Transfers > 0 || tp.BytesPipelined > 0 {
+		fmt.Fprintf(&b, "transport: %d transfers, %.0f MB serialized, %.0f MB copied, %.0f MB zero-copy, %.0f MB wire, overlap %.0f%%\n",
+			tp.Transfers, tp.BytesSerialized/(1<<20), tp.BytesCopied/(1<<20),
+			tp.BytesZeroCopied/(1<<20), tp.BytesWire/(1<<20), tp.OverlapFraction()*100)
+	}
 	if rc := r.Recovery; rc != (RecoveryStats{}) {
 		fmt.Fprintf(&b, "recovery: %d blocks re-replicated (%.0f MB), %d blocks lost (%.0f MB), %d tasks recomputed\n",
 			rc.BlocksRereplicated, rc.BytesRereplicated/(1<<20),
@@ -1026,10 +1063,55 @@ func (s *Scenario) Run() (*Report, error) {
 		}
 	}
 
+	// Staged-transport knob: switch every distinct tenant transport to
+	// the requested state for the run, remembering what to restore.
+	type tpState struct {
+		tp      *transport.Transport
+		enabled bool
+		mode    transport.PipelineMode
+		stats   transport.Stats
+	}
+	var tpPrev []tpState
+	if s.tpCfg != nil {
+		seenTP := make(map[*transport.Transport]bool)
+		for _, t := range s.tenants {
+			tr, ok := t.eng.(interface{ Transport() *transport.Transport })
+			if !ok {
+				continue
+			}
+			tp := tr.Transport()
+			if tp == nil || seenTP[tp] {
+				continue
+			}
+			seenTP[tp] = true
+			tpPrev = append(tpPrev, tpState{tp: tp, enabled: tp.Enabled(), mode: tp.PipelineModeValue(), stats: tp.Stats()})
+			tp.SetEnabled(s.tpCfg.Enabled)
+			tp.SetPipelineMode(s.tpCfg.Pipeline)
+		}
+		if len(tpPrev) == 0 {
+			rc.notes = append(rc.notes, "transport: no tenant engine supports the staged model")
+		}
+	}
+
 	results := q.Run()
 	makespan := eng.Now() - runStart
 
-	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted()}
+	// Restore prior transport state and fold this run's counter deltas.
+	var tpDelta transport.Stats
+	for _, st := range tpPrev {
+		d := st.tp.Stats().Sub(st.stats)
+		tpDelta.Transfers += d.Transfers
+		tpDelta.BytesSerialized += d.BytesSerialized
+		tpDelta.BytesCopied += d.BytesCopied
+		tpDelta.BytesZeroCopied += d.BytesZeroCopied
+		tpDelta.BytesWire += d.BytesWire
+		tpDelta.BytesPipelined += d.BytesPipelined
+		tpDelta.BytesOverlapped += d.BytesOverlapped
+		st.tp.SetEnabled(st.enabled)
+		st.tp.SetPipelineMode(st.mode)
+	}
+
+	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted(), Transport: tpDelta}
 	rep.Recovery.TasksRecomputed = rep.Tracker.Recomputes
 	rep.Recovery.CacheRecomputes = rep.Tracker.CacheRecomputes
 	rep.Recovery.PermanentFailures = rep.Tracker.PermanentFails
