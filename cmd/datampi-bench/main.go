@@ -15,7 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -44,7 +46,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N] [-workers N] [-fidelity fast|reference] [-cpuprofile F] [-memprofile F]")
+	fmt.Fprintln(os.Stderr, "usage: datampi-bench list | run <id>...|all [-scale N] [-quick] [-csv] [-plots] [-seed N] [-workers N] [-fidelity fast|reference] [-trace F] [-profile-out DIR] [-cpuprofile F] [-memprofile F]")
 }
 
 func runCmd(args []string) {
@@ -58,6 +60,8 @@ func runCmd(args []string) {
 	fidelity := fs.String("fidelity", "fast", "simulation kernel fidelity: fast (incremental allocators) or reference (original rescan allocators)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof allocation profile (after the runs) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of a traced experiment (e.g. tracecheck) to this file; load it in Perfetto")
+	profileOut := fs.String("profile-out", "", "directory to write each profiled experiment's per-framework resource series as CSV and JSON")
 
 	var ids []string
 	for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
@@ -97,7 +101,8 @@ func runCmd(args []string) {
 	// The experiments run inside a closure so the pprof teardown defers
 	// always flush — even when an experiment fails — before os.Exit.
 	harness.SetWorkers(*workers)
-	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed, Fidelity: fid}
+	opt := harness.Options{Scale: *scale, Quick: *quick, Seed: *seed, Fidelity: fid,
+		TracePath: *tracePath}
 	code := func() int {
 		if *cpuprofile != "" {
 			f, err := os.Create(*cpuprofile)
@@ -126,20 +131,26 @@ func runCmd(args []string) {
 				}
 			}()
 		}
-		return runExperiments(exps, opt, *csv, *plots)
+		return runExperiments(exps, opt, *csv, *plots, *profileOut)
 	}()
 	if code != 0 {
 		os.Exit(code)
 	}
 }
 
-func runExperiments(exps []harness.Experiment, opt harness.Options, csv, plots bool) int {
+func runExperiments(exps []harness.Experiment, opt harness.Options, csv, plots bool, profileOut string) int {
 	for _, exp := range exps {
 		start := time.Now()
 		rep, err := exp.Run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
 			return 1
+		}
+		if profileOut != "" && len(rep.Series) > 0 {
+			if err := writeProfiles(profileOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: profile-out: %v\n", exp.ID, err)
+				return 1
+			}
 		}
 		if csv {
 			fmt.Printf("# %s — %s\n%s\n", rep.ID, rep.Title, rep.CSV())
@@ -154,12 +165,64 @@ func runExperiments(exps []harness.Experiment, opt harness.Options, csv, plots b
 			sort.Strings(keys)
 			for _, k := range keys {
 				metric := k[indexByteAfterSlash(k):]
-				fmt.Printf("--- %s ---\n%s", k, rep.Series[k].RenderASCII(metric, 72, 10))
+				plot, err := rep.Series[k].RenderASCII(metric, 72, 10)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", k, err)
+					return 1
+				}
+				fmt.Printf("--- %s ---\n%s", k, plot)
 			}
 		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", exp.ID, time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// writeProfiles dumps a report's resource time series to dir as
+// <id>-<label>.csv and .json. Series are keyed "<framework>/<metric>"
+// but each framework's entries share one underlying series (all metrics
+// are columns of it), so only the part before the slash names a file.
+func writeProfiles(dir string, rep *harness.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	written := map[string]bool{}
+	keys := make([]string, 0, len(rep.Series))
+	for k := range rep.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		label := k
+		if i := indexByteAfterSlash(k); i > 0 {
+			label = k[:i-1]
+		}
+		if written[label] {
+			continue
+		}
+		written[label] = true
+		base := filepath.Join(dir, rep.ID+"-"+label)
+		for _, out := range []struct {
+			ext   string
+			write func(io.Writer) error
+		}{
+			{".csv", rep.Series[k].WriteCSV},
+			{".json", rep.Series[k].WriteJSON},
+		} {
+			f, err := os.Create(base + out.ext)
+			if err != nil {
+				return err
+			}
+			if err := out.write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func indexByteAfterSlash(s string) int {

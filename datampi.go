@@ -38,6 +38,7 @@ import (
 	"github.com/datampi/datampi-go/internal/rdd"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 	"github.com/datampi/datampi-go/internal/transport"
 )
 
@@ -112,6 +113,22 @@ type (
 	// TransportPipeline overrides a profile's pipelined-shuffle flag at
 	// scenario level (PipelineProfile, PipelineOn, PipelineOff).
 	TransportPipeline = transport.PipelineMode
+	// TraceConfig tunes what a scenario's span recorder captures (see
+	// WithTracing); the zero value records everything.
+	TraceConfig = trace.Config
+	// Tracer is the span recorder a traced scenario returns on
+	// Report.Trace: spans, instants and counters in simulated time, with
+	// Chrome trace-event export (WriteChrome/WriteJSONL) and
+	// critical-path analysis (CriticalPath, PhaseBreakdown).
+	Tracer = trace.Tracer
+	// Span is one timed interval on the trace: a task attempt, an engine
+	// phase, a shuffle fetch, a transport stage.
+	Span = trace.Span
+	// PathSeg is one interval of a critical path, attributed to its
+	// span's category.
+	PathSeg = trace.Seg
+	// PathCategory is one category's summed critical-path time.
+	PathCategory = trace.CatTotal
 )
 
 // Per-engine staged transport profiles (see internal/transport).
@@ -342,3 +359,15 @@ func TextSort(fs *dfs.FS, in *dfs.File, out string, reducers int) Job {
 func ReadTextOutput(fs *dfs.FS, prefix string) []Pair {
 	return job.ReadTextOutput(fs, prefix)
 }
+
+// RenderCriticalPath formats a critical path (Tracer.CriticalPath) as an
+// aligned table: the top-k segments by duration plus per-category totals.
+func RenderCriticalPath(segs []PathSeg, k int) string { return trace.RenderPath(segs, k) }
+
+// PathByCategory sums critical-path segments per span category,
+// descending by attributed time.
+func PathByCategory(segs []PathSeg) []PathCategory { return trace.ByCategory(segs) }
+
+// PathSeconds returns the critical-path time attributed to one category
+// (e.g. "net" for communication, "task" for compute attempts).
+func PathSeconds(segs []PathSeg, cat string) float64 { return trace.CategorySeconds(segs, cat) }

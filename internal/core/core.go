@@ -35,6 +35,7 @@ import (
 	"github.com/datampi/datampi-go/internal/mpi"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 	"github.com/datampi/datampi-go/internal/transport"
 )
 
@@ -114,6 +115,9 @@ type Engine struct {
 	FS   *dfs.FS
 	Cfg  Config
 	Prof *metrics.Profiler
+	// Tracer records job/phase/recv spans for solo Run paths; queue
+	// submissions inherit the tracker's tracer instead.
+	Tracer *trace.Tracer
 
 	daemons   *sched.Residency // per-node runtime residency across jobs
 	profiling sched.Profiling  // refcounted sampling across jobs
@@ -201,6 +205,20 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	e.acquireDaemons()
 	e.profiling.Start(e.Prof, eng)
 
+	// Tracing: queue submissions carry the scenario's tracer on the
+	// tracker; solo runs fall back to the engine field.
+	tr := ctl.Tracker().Tracer()
+	if tr == nil && e.Tracer != nil {
+		tr = e.Tracer
+		ctl.Tracker().SetTracer(tr)
+	}
+	e.tp.SetTracer(tr)
+	var jsp *trace.Span
+	if tr != nil {
+		jsp = tr.Begin("job:"+spec.Name, "job", 0, trace.TidDriver, res.Start).
+			Annotate("engine", e.Name())
+	}
+
 	nO := e.Cfg.TasksPerNode * e.C.N()
 	if nO > len(blocks) {
 		nO = len(blocks)
@@ -208,6 +226,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	nA := spec.Reducers
 	world := e.buildWorld(nO, nA)
 	splitsOf := e.assignSplits(ctl.Placer(), blocks, nO, world)
+	oSpans := make([]uint64, nO) // O rank -> latest attempt span ID
 
 	// Task slots: with a single job both pools are at least as wide as the
 	// communicators mpirun lays out (the A pool widens when Reducers
@@ -251,6 +270,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 			Restartable: true,
 			CommitFS:    e.FS,
 			Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+				oSpans[o] = att.TraceSpan().SpanID()
 				return nil, e.runOTask(p, att, &spec, world, o, nO, nA, splitsOf[o])
 			},
 			Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
@@ -294,10 +314,15 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				Restartable: true,
 				CommitFS:    e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
+					oSpans[o] = att.TraceSpan().SpanID()
 					return nil, e.runOTask(p, att, &spec, world, o, nO, nA, splitsOf[o])
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("o_tasks", 1)
+					oSpans[o] = att.TraceSpan().SpanID()
+					if nA == 0 {
+						jsp.DepOn(oSpans[o])
+					}
 					oFinish()
 					return nil
 				},
@@ -324,10 +349,11 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				PreRetry:  func() { aSlots.Grow(aSlots.PerNode() + 1) },
 				CommitFS:  e.FS,
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
-					return nil, e.runATask(p, att, &spec, world, nO, a, totalSplits, res, rec)
+					return nil, e.runATask(p, att, &spec, world, nO, a, totalSplits, res, rec, oSpans)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 					res.AddCounter("a_tasks", 1)
+					jsp.DepOn(att.TraceSpan().SpanID())
 					return nil
 				},
 				Fail:  fail,
@@ -341,6 +367,19 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		if oPhaseEnd > 0 {
 			res.Phases["O"] = oPhaseEnd - res.Start
 			res.Phases["A"] = res.End - oPhaseEnd
+		}
+		if jsp != nil {
+			jsp.EndAt(res.End)
+			if oPhaseEnd > 0 {
+				osp := tr.BeginChild(jsp, "O", "phase", 0, trace.TidDriver, res.Start)
+				osp.EndAt(oPhaseEnd)
+				asp := tr.BeginChild(jsp, "A", "phase", 0, trace.TidDriver, oPhaseEnd)
+				asp.EndAt(res.End)
+				// Phases derive from the spans; same floats as the legacy
+				// subtractions, so reports stay bit-identical.
+				res.Phases["O"] = osp.End - osp.Start
+				res.Phases["A"] = asp.End - asp.Start
+			}
 		}
 		res.Err = jobErr
 		e.profiling.Stop(e.Prof)
@@ -574,7 +613,7 @@ func splitTag(blk *dfs.Block) int { return int(blk.ID) + 1000 }
 // healthy node) flushes its mailbox and asks for an O-side replay round —
 // the same tag dedup that absorbs speculative duplicates lets every live
 // rank ignore the replayed streams while this one is fed from scratch.
-func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result, rec *aRecovery) error {
+func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mpi.World, nO, a, totalSplits int, res *job.Result, rec *aRecovery, oSpans []uint64) error {
 	cfg := &e.Cfg
 
 	rank := nO + a
@@ -602,6 +641,15 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 	// Registered before the receive loop so a kill mid-receive (node
 	// failure) releases the buffered intermediate data.
 	defer func() { mem.Free(bufferedMem) }()
+	// One recv span covers the whole receive window. Its O-span deps make
+	// the overlap visible to the critical-path walk: only the tail of the
+	// receive past the last O task's completion sits on the path, which is
+	// exactly the communication DataMPI does NOT hide.
+	tsp := att.TraceSpan()
+	var rsp *trace.Span
+	if tr := att.Tracer(); tr != nil {
+		rsp = tr.BeginChild(tsp, "recv", "net", node, tsp.Tid, p.Engine().Now())
+	}
 	var checkpointNominal float64
 	seenTags := make(map[int]bool, totalSplits)
 	for len(seenTags) < totalSplits {
@@ -633,6 +681,14 @@ func (e *Engine) runATask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, w *mp
 			mem.Free(bufferedMem)
 			bufferedMem = 0
 		}
+	}
+	if rsp != nil {
+		for _, id := range oSpans {
+			rsp.DepOn(id)
+		}
+		rsp.Annotate("bytes", fmt.Sprintf("%.0f", checkpointNominal))
+		rsp.EndAt(p.Engine().Now())
+		tsp.DepOn(rsp.ID)
 	}
 
 	// Key-value checkpoint: the intermediate data is durably written to

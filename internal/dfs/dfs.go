@@ -20,6 +20,7 @@ import (
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // Config controls filesystem geometry.
@@ -108,7 +109,8 @@ type FS struct {
 	rng     *rand.Rand
 	dead    map[int]bool
 	prof    *metrics.Profiler
-	diskUse []float64 // nominal bytes stored per node
+	tr      *trace.Tracer // span/instant recorder, nil when tracing is off
+	diskUse []float64     // nominal bytes stored per node
 
 	// nodeSubs are notified (in subscription order, kernel context) when a
 	// datanode goes down or comes back — the heartbeat stream the
@@ -148,6 +150,13 @@ func New(c *cluster.Cluster, cfg Config) *FS {
 
 // SetProfiler attributes disk traffic to a metrics profiler.
 func (fs *FS) SetProfiler(p *metrics.Profiler) { fs.prof = p }
+
+// SetTracer attaches a span recorder; the replication monitor reads it
+// through Tracer. Tracing is pure observation and never changes timings.
+func (fs *FS) SetTracer(tr *trace.Tracer) { fs.tr = tr }
+
+// Tracer returns the attached recorder (nil when tracing is off).
+func (fs *FS) Tracer() *trace.Tracer { return fs.tr }
 
 // Config returns the filesystem configuration.
 func (fs *FS) Config() Config { return fs.cfg }
@@ -270,7 +279,13 @@ func (fs *FS) NodeUp(i int) {
 		return
 	}
 	delete(fs.dead, i)
+	stale, excess := fs.stalePruned, fs.excessPruned
 	fs.reconcile(i)
+	if fs.tr != nil {
+		fs.tr.Instant("dfs-reconcile", "dfs", i, fs.c.Eng.Now(),
+			trace.Arg{Key: "stale", Val: fmt.Sprintf("%d", fs.stalePruned-stale)},
+			trace.Arg{Key: "excess", Val: fmt.Sprintf("%d", fs.excessPruned-excess)})
+	}
 	for _, fn := range fs.nodeSubs {
 		if fn != nil {
 			fn(i, false)

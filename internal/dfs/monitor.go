@@ -8,9 +8,11 @@
 package dfs
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // MonitorConfig tunes the replication monitor. The zero value takes the
@@ -150,6 +152,7 @@ func (m *ReplicationMonitor) scan() []repairItem {
 					m.lost[b.ID] = true
 					m.stats.BlocksLost++
 					m.stats.BytesLost += b.Nominal
+					m.noteLost(b)
 				}
 			case live < fs.cfg.Replication:
 				queue = append(queue, repairItem{name: name, b: b, live: live})
@@ -184,6 +187,7 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 				m.lost[b.ID] = true
 				m.stats.BlocksLost++
 				m.stats.BytesLost += b.Nominal
+				m.noteLost(b)
 			}
 			return
 		}
@@ -198,6 +202,10 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 				// The queue entry was drained without copying anything:
 				// a rejoin (not this monitor) restored the factor.
 				m.stats.RepairsCancelled++
+				if tr := fs.tr; tr != nil {
+					tr.Instant("repair-cancelled", "dfs", 0, fs.c.Eng.Now(),
+						trace.Arg{Key: "block", Val: fmt.Sprintf("%d", b.ID)})
+				}
 			}
 			return
 		}
@@ -208,6 +216,12 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 		if fs.copyReplica(p, b, src, live) < 0 {
 			return // not enough live nodes to widen further
 		}
+		if tr := fs.tr; tr != nil {
+			sp := tr.Begin("rereplicate", "dfs", src, trace.TidDFS, start).
+				Annotate("block", fmt.Sprintf("%d", b.ID)).
+				Annotate("bytes", fmt.Sprintf("%.0f", b.Nominal))
+			sp.EndAt(fs.c.Eng.Now())
+		}
 		copies++
 		m.stats.BlocksRereplicated++
 		m.stats.BytesRereplicated += b.Nominal
@@ -217,6 +231,15 @@ func (m *ReplicationMonitor) repair(p *sim.Proc, it repairItem) {
 				p.Sleep(min - (fs.c.Eng.Now() - start))
 			}
 		}
+	}
+}
+
+// noteLost records a block-lost instant on the trace timeline.
+func (m *ReplicationMonitor) noteLost(b *Block) {
+	if tr := m.fs.tr; tr != nil {
+		tr.Instant("block-lost", "dfs", 0, m.fs.c.Eng.Now(),
+			trace.Arg{Key: "block", Val: fmt.Sprintf("%d", b.ID)},
+			trace.Arg{Key: "bytes", Val: fmt.Sprintf("%.0f", b.Nominal)})
 	}
 }
 

@@ -37,6 +37,9 @@ type Options struct {
 	// zero value is the fast incremental path; sim.FidelityReference the
 	// original rescan allocators). Results agree within float noise.
 	Fidelity sim.Fidelity
+	// TracePath, when non-empty, makes trace-aware experiments (e.g.
+	// tracecheck) write a Chrome trace-event JSON there.
+	TracePath string
 }
 
 func (o Options) scaleOr(def float64) float64 {

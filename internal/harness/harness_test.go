@@ -12,7 +12,7 @@ var wantIDs = []string{
 	"fig4sort", "fig4wc", "fig5", "fig6a", "fig6b", "fig7",
 	"table1", "table2", "mix1", "straggler", "delaysweep",
 	"kernelchurn", "kernelscale", "tenants", "faultsweep",
-	"datacenter", "recordsweep",
+	"datacenter", "recordsweep", "tracecheck",
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {

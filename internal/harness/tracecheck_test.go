@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTracecheckShape runs the tracing smoke experiment in quick mode
+// and asserts the paper-facing claim it computes: the Sort critical
+// path attributes communication time on Hadoop but (nearly) none on
+// DataMPI, the -trace export is valid Chrome JSON, and two runs are
+// byte-identical.
+func TestTracecheckShape(t *testing.T) {
+	exp, ok := Lookup("tracecheck")
+	if !ok {
+		t.Fatal("tracecheck experiment not registered")
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "t1.json"), filepath.Join(dir, "t2.json")
+	rep, err := exp.Run(Options{Quick: true, TracePath: p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per framework", len(rep.Rows))
+	}
+	shares := map[string]float64{}
+	for _, row := range rep.Rows {
+		if row[1] == "FAIL" || row[1] == "OOM" {
+			t.Fatalf("%s sort failed: %v", row[0], row)
+		}
+		if atof(row[2]) <= 0 {
+			t.Fatalf("%s recorded no spans: %v", row[0], row)
+		}
+		shares[row[0]] = atof(strings.TrimSuffix(row[5], "%"))
+	}
+	if shares["Hadoop"] <= 0 {
+		t.Fatalf("Hadoop path attributes no communication: %v", shares)
+	}
+	if shares["DataMPI"] >= shares["Hadoop"] {
+		t.Fatalf("DataMPI net share %v not below Hadoop's %v", shares["DataMPI"], shares["Hadoop"])
+	}
+
+	raw, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exported trace is not valid Chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace is empty")
+	}
+
+	rep2, err := exp.Run(Options{Quick: true, TracePath: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatal("two tracecheck runs exported different trace bytes")
+	}
+	// The render embeds the -trace output path in a note; everything
+	// else must be byte-identical across runs.
+	strip := func(s string) string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			if !strings.Contains(ln, "wrote Hadoop sort trace") {
+				keep = append(keep, ln)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(rep.Render()) != strip(rep2.Render()) {
+		t.Fatalf("two tracecheck runs rendered differently:\n%s\nvs\n%s", rep.Render(), rep2.Render())
+	}
+}

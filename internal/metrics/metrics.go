@@ -9,7 +9,9 @@
 package metrics
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -292,29 +294,40 @@ func (w Window) String() string {
 		w.AvgNet/cluster.MB, w.AvgMem/cluster.GB)
 }
 
+// MetricKeys are the metric names RenderASCII accepts, in the column
+// order WriteCSV emits them.
+var MetricKeys = []string{"cpu", "waitio", "diskread", "diskwrite", "net", "mem"}
+
+// metricGetter returns the accessor for one named metric, or nil for an
+// unknown name.
+func metricGetter(metric string) func(Sample) float64 {
+	switch metric {
+	case "cpu":
+		return func(sm Sample) float64 { return sm.CPUPct }
+	case "waitio":
+		return func(sm Sample) float64 { return sm.WaitIO }
+	case "diskread":
+		return func(sm Sample) float64 { return sm.DiskRead / cluster.MB }
+	case "diskwrite":
+		return func(sm Sample) float64 { return sm.DiskWrit / cluster.MB }
+	case "net":
+		return func(sm Sample) float64 { return sm.NetMBps / cluster.MB }
+	case "mem":
+		return func(sm Sample) float64 { return sm.MemBytes / cluster.GB }
+	}
+	return nil
+}
+
 // RenderASCII plots one metric of the series as a compact ASCII chart,
-// which the CLI uses to visualize the Figure 4 curves.
-func (s Series) RenderASCII(metric string, width, height int) string {
-	get := func(sm Sample) float64 {
-		switch metric {
-		case "cpu":
-			return sm.CPUPct
-		case "waitio":
-			return sm.WaitIO
-		case "diskread":
-			return sm.DiskRead / cluster.MB
-		case "diskwrite":
-			return sm.DiskWrit / cluster.MB
-		case "net":
-			return sm.NetMBps / cluster.MB
-		case "mem":
-			return sm.MemBytes / cluster.GB
-		default:
-			return 0
-		}
+// which the CLI uses to visualize the Figure 4 curves. An unknown
+// metric name is an error naming the valid keys.
+func (s Series) RenderASCII(metric string, width, height int) (string, error) {
+	get := metricGetter(metric)
+	if get == nil {
+		return "", fmt.Errorf("metrics: unknown metric %q (valid: %s)", metric, strings.Join(MetricKeys, ", "))
 	}
 	if len(s.Samples) == 0 || width <= 0 || height <= 0 {
-		return "(no samples)\n"
+		return "(no samples)\n", nil
 	}
 	maxV := 0.0
 	for _, sm := range s.Samples {
@@ -346,5 +359,36 @@ func (s Series) RenderASCII(metric string, width, height int) string {
 		b.WriteString("\n")
 	}
 	b.WriteString("+" + strings.Repeat("-", width) + "\n")
-	return b.String()
+	return b.String(), nil
+}
+
+// WriteCSV writes the series as CSV: a header row, then one row per
+// sample with the raw units of Sample (seconds, percents, bytes/sec,
+// bytes) — the machine-readable form of the Figure-4 curves.
+func (s Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t,cpu_pct,waitio_pct,disk_read_bps,disk_write_bps,net_bps,mem_bytes\n")
+	for _, sm := range s.Samples {
+		fmt.Fprintf(bw, "%g,%g,%g,%g,%g,%g,%g\n",
+			sm.T, sm.CPUPct, sm.WaitIO, sm.DiskRead, sm.DiskWrit, sm.NetMBps, sm.MemBytes)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the series as one JSON document:
+// {"interval":..., "samples":[{"t":..., "cpu_pct":..., ...}]}. Fields
+// carry the raw units of Sample.
+func (s Series) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"interval\":%g,\"samples\":[", s.Interval)
+	for i, sm := range s.Samples {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		fmt.Fprintf(bw,
+			"\n{\"t\":%g,\"cpu_pct\":%g,\"waitio_pct\":%g,\"disk_read_bps\":%g,\"disk_write_bps\":%g,\"net_bps\":%g,\"mem_bytes\":%g}",
+			sm.T, sm.CPUPct, sm.WaitIO, sm.DiskRead, sm.DiskWrit, sm.NetMBps, sm.MemBytes)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -94,13 +96,112 @@ func TestRenderASCII(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		s.Samples = append(s.Samples, Sample{T: float64(i), CPUPct: float64(i * 5)})
 	}
-	out := s.RenderASCII("cpu", 40, 8)
+	out, err := s.RenderASCII("cpu", 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "cpu") || !strings.Contains(out, "*") {
 		t.Fatalf("render missing content:\n%s", out)
 	}
-	if empty := (Series{}).RenderASCII("cpu", 10, 4); !strings.Contains(empty, "no samples") {
+	empty, err := (Series{}).RenderASCII("cpu", 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty, "no samples") {
 		t.Fatal("empty series should say no samples")
 	}
+}
+
+func TestRenderASCIIUnknownMetric(t *testing.T) {
+	s := Series{Interval: 1, Samples: []Sample{{T: 0, CPUPct: 10}}}
+	out, err := s.RenderASCII("cpus", 10, 4)
+	if err == nil {
+		t.Fatalf("unknown metric should error, got output %q", out)
+	}
+	for _, key := range MetricKeys {
+		if !strings.Contains(err.Error(), key) {
+			t.Fatalf("error %q should list valid key %q", err, key)
+		}
+	}
+}
+
+func TestSeriesWriteCSVAndJSON(t *testing.T) {
+	s := Series{Interval: 0.5, Samples: []Sample{
+		{T: 0.5, CPUPct: 12.5, WaitIO: 3, DiskRead: 1e6, DiskWrit: 2e6, NetMBps: 3e6, MemBytes: 4e9},
+		{T: 1, CPUPct: 25},
+	}}
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv should have header + 2 rows, got %d lines:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "t,cpu_pct,waitio_pct,disk_read_bps,disk_write_bps,net_bps,mem_bytes" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "0.5,12.5,3,1e+06,2e+06,3e+06,4e+09" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	var js strings.Builder
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Interval float64 `json:"interval"`
+		Samples  []struct {
+			T      float64 `json:"t"`
+			CPUPct float64 `json:"cpu_pct"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, js.String())
+	}
+	if doc.Interval != 0.5 || len(doc.Samples) != 2 || doc.Samples[0].CPUPct != 12.5 {
+		t.Fatalf("json round-trip = %+v", doc)
+	}
+}
+
+func TestProfilerRingWraparoundBoundary(t *testing.T) {
+	// Exactly-full vs one-past-full: with maxSamples=3, three samples
+	// keep insertion order with head=0; the fourth overwrites the
+	// oldest slot and Series() must rotate back into time order.
+	c := cluster.New(cluster.DefaultHardware())
+	run := func(ticks int) Series {
+		pr := NewProfiler(c, 1)
+		pr.SetMaxSamples(3)
+		for i := 1; i <= ticks; i++ {
+			pr.sample(float64(i))
+		}
+		return pr.Series()
+	}
+	exact := run(3)
+	if got := tTimes(exact); got != "1,2,3" {
+		t.Fatalf("exactly-full ring = %s, want 1,2,3", got)
+	}
+	past := run(4)
+	if got := tTimes(past); got != "2,3,4" {
+		t.Fatalf("one-past-full ring = %s, want 2,3,4 (oldest evicted, order rotated)", got)
+	}
+	if len(past.Samples) != 3 {
+		t.Fatalf("ring grew past its bound: %d samples", len(past.Samples))
+	}
+	deep := run(8) // head mid-ring: 8 mod 3 = 2
+	if got := tTimes(deep); got != "6,7,8" {
+		t.Fatalf("wrapped ring = %s, want 6,7,8", got)
+	}
+}
+
+func tTimes(s Series) string {
+	var b strings.Builder
+	for i, sm := range s.Samples {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%g", sm.T)
+	}
+	return b.String()
 }
 
 func TestWindowString(t *testing.T) {

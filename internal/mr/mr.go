@@ -22,6 +22,7 @@ import (
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 	"github.com/datampi/datampi-go/internal/transport"
 )
 
@@ -103,6 +104,9 @@ type Engine struct {
 	FS   *dfs.FS
 	Cfg  Config
 	Prof *metrics.Profiler // optional resource profiler
+	// Tracer records job/phase/fetch spans for solo Run paths; queue
+	// submissions inherit the tracker's tracer instead.
+	Tracer *trace.Tracer
 
 	daemons   *sched.Residency // TaskTracker/DataNode residency across jobs
 	profiling sched.Profiling  // refcounted sampling across jobs
@@ -202,6 +206,22 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 	e.acquireDaemons()
 	e.profiling.Start(e.Prof, eng)
 
+	// Tracing: queue submissions carry the scenario's tracer on the
+	// tracker; solo runs fall back to the engine field. Pure observation
+	// either way — no simulation events, no timing changes.
+	tr := ctl.Tracker().Tracer()
+	if tr == nil && e.Tracer != nil {
+		tr = e.Tracer
+		ctl.Tracker().SetTracer(tr)
+	}
+	e.tp.SetTracer(tr)
+	var jsp *trace.Span
+	if tr != nil {
+		jsp = tr.Begin("job:"+spec.Name, "job", 0, trace.TidDriver, res.Start).
+			Annotate("engine", e.Name())
+	}
+	mapSpans := make([]uint64, nMaps) // map index -> producing attempt's span ID
+
 	assignment := ctl.Placer().Place(blocks)
 	mapSlots := ctl.Pool("mr-map", e.Cfg.TasksPerNode)
 	reduceSlots := ctl.Pool("mr-reduce", e.Cfg.TasksPerNode)
@@ -238,6 +258,20 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 		if mapPhaseEnd > 0 {
 			res.Phases["map"] = mapPhaseEnd - res.Start
 			res.Phases["reduce"] = res.End - mapPhaseEnd
+		}
+		if jsp != nil {
+			jsp.EndAt(res.End)
+			if mapPhaseEnd > 0 {
+				msp := tr.BeginChild(jsp, "map", "phase", 0, trace.TidDriver, res.Start)
+				msp.EndAt(mapPhaseEnd)
+				rsp := tr.BeginChild(jsp, "reduce", "phase", 0, trace.TidDriver, mapPhaseEnd)
+				rsp.EndAt(res.End)
+				// Phases derive from the spans; the subtractions are the
+				// same floats as the legacy path, so reports stay
+				// bit-identical with tracing on.
+				res.Phases["map"] = msp.End - msp.Start
+				res.Phases["reduce"] = rsp.End - rsp.Start
+			}
 		}
 		res.Err = jobErr
 		e.profiling.Stop(e.Prof)
@@ -292,6 +326,10 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 					if mapsDone == nMaps {
 						mapPhaseEnd = eng.Now()
 					}
+					mapSpans[mi] = att.TraceSpan().SpanID()
+					if nReduce == 0 {
+						jsp.DepOn(mapSpans[mi])
+					}
 					outputsCond.Broadcast()
 					return nil
 				},
@@ -337,6 +375,7 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 					mo2 := v.(*mapOutput)
 					mo2.mi = mi
 					outputs = append(outputs, mo2)
+					mapSpans[mi] = att.TraceSpan().SpanID()
 					outputsCond.Broadcast()
 					return nil
 				},
@@ -379,9 +418,10 @@ func (e *Engine) submit(spec job.Spec, ctl *sched.JobControl, res *job.Result, d
 				},
 				Body: func(p *sim.Proc, att *sched.Attempt) (any, error) {
 					return e.runReduceTask(p, att, &spec, ri, att.Node(), nMaps, &outputs, &outputsCond, failed, res,
-						nodeAlive, altOutputs, recoverMap, board)
+						nodeAlive, altOutputs, recoverMap, board, mapSpans)
 				},
 				Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
+					jsp.DepOn(att.TraceSpan().SpanID())
 					// Commit order mirrors the pre-tracker task body: output
 					// write (to the attempt-scoped temp path, renamed by the
 					// tracker right after Done), then the task memory the
@@ -637,8 +677,16 @@ type reduceOut struct {
 // later entry in the shared slice, so the reducer just keeps scanning.
 func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, ri, node, nMaps int,
 	outputs *[]*mapOutput, cond *sim.Cond, failed func() bool, res *job.Result,
-	alive func(int) bool, alts map[int][]*mapOutput, recover func(*mapOutput), board *transport.Board) (any, error) {
+	alive func(int) bool, alts map[int][]*mapOutput, recover func(*mapOutput), board *transport.Board,
+	mapSpans []uint64) (any, error) {
 	cfg := &e.Cfg
+
+	// Fetch spans chain each to the previous fetch and to the producing
+	// map's attempt span: the shuffle's serialized wall time becomes a
+	// dependency path the critical-path walk attributes to "net".
+	tr := att.Tracer()
+	tsp := att.TraceSpan()
+	var lastFetch uint64
 
 	mem := e.C.Node(node).Mem
 	p.Sleep(cfg.TaskLaunch)
@@ -774,6 +822,16 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 		}
 		// Fetch: read the partition from the map node's disk and pull it
 		// over the network (overlapped, as the TaskTracker streams it).
+		var fsp *trace.Span
+		if tr != nil {
+			fsp = tr.BeginChild(tsp, fmt.Sprintf("fetch:m%d", mo.mi), "net", node, tsp.Tid, e.C.Eng.Now()).
+				Annotate("src", fmt.Sprintf("%d", mo.node)).
+				Annotate("bytes", fmt.Sprintf("%.0f", nom))
+			if int(mo.mi) < len(mapSpans) {
+				fsp.DepOn(mapSpans[mo.mi])
+			}
+			fsp.DepOn(lastFetch)
+		}
 		var wg sim.WaitGroup
 		wg.Add(1)
 		e.C.Node(mo.node).Disk.Start(nom, wg.Done)
@@ -792,11 +850,16 @@ func (e *Engine) runReduceTask(p *sim.Proc, att *sched.Attempt, spec *job.Spec, 
 		p.BlockReason = "shuffle-io"
 		wg.Wait(p)
 		p.BlockReason = ""
+		if fsp != nil {
+			fsp.EndAt(e.C.Eng.Now())
+			lastFetch = fsp.ID
+		}
 
 		runs = append(runs, mo.parts[ri])
 		account(nom)
 	}
 	att.Report(0.8)
+	tsp.DepOn(lastFetch)
 
 	// Final merge: spilled runs come back from disk; CPU for the merge.
 	totalNominal := bufferedNominal + spilledNominal

@@ -65,7 +65,7 @@ func (e *Engine) Submit(spec job.Spec, ctl *sched.JobControl, done func(job.Resu
 	res.Start = e.C.Eng.Now()
 
 	final := e.lineage(&spec)
-	e.submitAction(final, spec.Output, nil, ctl, new(JobResult), func(jr JobResult) {
+	e.submitAction(spec.Name, final, spec.Output, nil, ctl, new(JobResult), func(jr JobResult) {
 		res.End = e.C.Eng.Now()
 		res.Elapsed = jr.Elapsed
 		res.Err = jr.Err

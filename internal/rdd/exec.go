@@ -8,6 +8,7 @@ import (
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/sched"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // stage is a maximal chain of narrow ops rooted at a source RDD, a cached
@@ -103,7 +104,7 @@ func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)
 	res := new(JobResult)
 	start := eng.Now()
 	completed := false
-	e.submitAction(target, outPath, collect, sched.Solo(eng, e.C.N()), res, func(JobResult) { completed = true })
+	e.submitAction("action", target, outPath, collect, sched.Solo(eng, e.C.N()), res, func(JobResult) { completed = true })
 	if err := eng.Run(); err != nil {
 		if res.Err == nil {
 			res.Err = err
@@ -123,7 +124,7 @@ func (e *Engine) runAction(target *RDD, outPath string, collect func([]partData)
 
 // submitAction spawns the action's driver and task processes. done
 // (optional) runs in simulation context when the driver completes.
-func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partData),
+func (e *Engine) submitAction(name string, target *RDD, outPath string, collect func([]partData),
 	ctl *sched.JobControl, res *JobResult, done func(JobResult)) {
 
 	eng := e.C.Eng
@@ -132,6 +133,20 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 
 	e.acquireApp()
 	e.profiling.Start(e.Prof, eng)
+
+	// Tracing: queue submissions carry the scenario's tracer on the
+	// tracker; solo actions fall back to the engine field.
+	tr := ctl.Tracker().Tracer()
+	if tr == nil && e.Tracer != nil {
+		tr = e.Tracer
+		ctl.Tracker().SetTracer(tr)
+	}
+	e.tp.SetTracer(tr)
+	var jsp *trace.Span
+	if tr != nil {
+		jsp = tr.Begin("job:"+name, "job", 0, trace.TidDriver, start).
+			Annotate("engine", e.Name())
+	}
 
 	stages := plan(target)
 	slots := ctl.Pool("spark-worker", cfg.WorkersPerNode)
@@ -149,7 +164,7 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 		var pf *stageFetch // previous stage's shuffle-recovery context
 		for si, st := range stages {
 			isLast := si == len(stages)-1
-			out, nf, err := e.runStage(driver, st, current, pf, slots, ctl, si, isLast, outPath)
+			out, nf, err := e.runStage(driver, st, current, pf, slots, ctl, si, isLast, outPath, jsp)
 			if err != nil {
 				jobErr = err
 				break
@@ -162,12 +177,21 @@ func (e *Engine) submitAction(target *RDD, outPath string, collect func([]partDa
 			collect(current)
 		}
 		driver.Sleep(cfg.JobFinalize)
-		res.Elapsed = eng.Now() - start
+		endT := eng.Now()
+		res.Elapsed = endT - start
 		prev := start
-		for _, t := range stageEnds {
+		for i, t := range stageEnds {
 			res.Stages = append(res.Stages, t-prev)
+			if jsp != nil {
+				// Stage phase spans; durations derive from the spans, the
+				// same floats as the legacy subtraction.
+				sp := tr.BeginChild(jsp, stageName(i), "phase", 0, trace.TidDriver, prev)
+				sp.EndAt(t)
+				res.Stages[i] = sp.End - sp.Start
+			}
 			prev = t
 		}
+		jsp.EndAt(endT)
 		res.Err = jobErr
 		e.profiling.Stop(e.Prof)
 		e.releaseApp()
@@ -215,6 +239,9 @@ type stageFetch struct {
 	redone map[int][]partData // producer taskIdx -> regenerated partitions
 	busy   map[int]bool
 	cond   sim.Cond
+	// spans holds the producing attempts' span IDs (task index order) so
+	// the consuming stage's fetch spans can wire dependency edges.
+	spans []uint64
 }
 
 // recover returns partition pi of the lost producer output pd, recomputing
@@ -252,7 +279,8 @@ func (sf *stageFetch) recover(p *sim.Proc, att *sched.Attempt, node int, pd part
 // materialized output partitions (input to the next stage) together with
 // the recovery context the next stage fetches through.
 func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, prevFetch *stageFetch,
-	slots *sched.SlotPool, ctl *sched.JobControl, si int, isLast bool, outPath string) ([]partData, *stageFetch, error) {
+	slots *sched.SlotPool, ctl *sched.JobControl, si int, isLast bool, outPath string,
+	jsp *trace.Span) ([]partData, *stageFetch, error) {
 
 	cfg := &e.Cfg
 	scale := e.scale()
@@ -311,7 +339,8 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, pre
 	// The recovery context carries the inputs just built; the next stage's
 	// fetch loop recomputes through it when a producer's node dies.
 	nf := &stageFetch{eng: e, st: st, inputs: tasks, prev: prevFetch, ctl: ctl,
-		redone: make(map[int][]partData), busy: make(map[int]bool)}
+		redone: make(map[int][]partData), busy: make(map[int]bool),
+		spans: make([]uint64, len(tasks))}
 
 	results := make([]partData, 0, len(tasks))
 	var firstErr error
@@ -341,6 +370,10 @@ func (e *Engine) runStage(driver *sim.Proc, st *stage, shuffleIn []partData, pre
 			},
 			Done: func(p *sim.Proc, v any, att *sched.Attempt) error {
 				results = append(results, v.([]partData)...)
+				nf.spans[ti] = att.TraceSpan().SpanID()
+				if isLast {
+					jsp.DepOn(nf.spans[ti])
+				}
 				return nil
 			},
 			Fail: func(err error) {
@@ -439,7 +472,17 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 	default:
 		// Shuffle fetch: pull every map task's slice of this partition,
 		// reporting fractional per-fetch progress so the straggler monitor
-		// sees fetch rates rather than one opaque milestone.
+		// sees fetch rates rather than one opaque milestone. Fetch spans
+		// chain to the previous fetch and depend on the producing task's
+		// attempt span, so the shuffle's serialized wall time is a
+		// dependency path the critical-path walk attributes to "net".
+		var ftr *trace.Tracer
+		var tsp *trace.Span
+		if att != nil {
+			ftr = att.Tracer()
+			tsp = att.TraceSpan()
+		}
+		var lastFetch uint64
 		totalNominal := 0.0
 		buffered := 0.0
 		for fi, pd := range fetches {
@@ -464,6 +507,16 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 					continue
 				}
 			}
+			var fsp *trace.Span
+			if ftr != nil {
+				fsp = ftr.BeginChild(tsp, fmt.Sprintf("fetch:t%d", pd.taskIdx), "net", node, tsp.Tid, eng.Now()).
+					Annotate("src", fmt.Sprintf("%d", pd.node)).
+					Annotate("bytes", fmt.Sprintf("%.0f", pd.nominal))
+				if prev != nil && pd.taskIdx < len(prev.spans) {
+					fsp.DepOn(prev.spans[pd.taskIdx])
+				}
+				fsp.DepOn(lastFetch)
+			}
 			var fw sim.WaitGroup
 			fw.Add(1)
 			e.C.Node(pd.node).Disk.Start(pd.nominal, fw.Done)
@@ -482,6 +535,10 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 			p.BlockReason = "shuffle-io"
 			fw.Wait(p)
 			p.BlockReason = ""
+			if fsp != nil {
+				fsp.EndAt(eng.Now())
+				lastFetch = fsp.ID
+			}
 			pairs = append(pairs, pd.pairs...)
 			totalNominal += pd.nominal
 			buffered += pd.nominal
@@ -494,6 +551,7 @@ func (e *Engine) runTask(p *sim.Proc, att *sched.Attempt, st *stage, node int, b
 				buffered = 0
 			}
 		}
+		tsp.DepOn(lastFetch)
 		inputNominal = totalNominal
 
 		// Materialization for the wide op: sort stages hold the whole

@@ -21,6 +21,7 @@ import (
 	"github.com/datampi/datampi-go/internal/kv"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/trace"
 	"github.com/datampi/datampi-go/internal/transport"
 )
 
@@ -98,6 +99,9 @@ type Engine struct {
 	FS   *dfs.FS
 	Cfg  Config
 	Prof *metrics.Profiler
+	// Tracer records job/stage/fetch spans for solo action paths; queue
+	// submissions inherit the tracker's tracer instead.
+	Tracer *trace.Tracer
 
 	appStarted bool
 	app        *sched.Residency // executor residency across actions

@@ -7,6 +7,7 @@ import (
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/job"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // Engine is implemented by execution engines that can admit a job onto a
@@ -172,6 +173,15 @@ func (q *Queue) DiscardSettled(on bool) { q.discard = on }
 // preemptions) accumulated across all submitted jobs.
 func (q *Queue) TrackerStats() TrackerStats { return q.tracker.Stats() }
 
+// SetTracer installs a span recorder on the queue's tracker: attempt
+// lifecycles, admissions, completions and timeline events all record
+// onto it. Engines submitted to the queue pick it up through their
+// JobControl. Call before Run; nil turns tracing off.
+func (q *Queue) SetTracer(tr *trace.Tracer) { q.tracker.SetTracer(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (q *Queue) Tracer() *trace.Tracer { return q.tracker.Tracer() }
+
 // Submission tracks one admitted job until its result is available.
 type Submission struct {
 	name    string
@@ -263,6 +273,14 @@ func (q *Queue) Admit(tenant string, at, weight float64, e Engine, spec job.Spec
 func (q *Queue) start(sub *Submission, e Engine, spec job.Spec, ctl *JobControl) {
 	ctl.handle.seq = q.nextSeq
 	q.nextSeq++
+	if tr := q.tracker.Tracer(); tr != nil {
+		args := make([]trace.Arg, 0, 1)
+		if sub.tenant != "" {
+			args = append(args, trace.Arg{Key: "tenant", Val: sub.tenant})
+		}
+		tr.Instant("admit:"+sub.name, "sched", 0, q.eng.Now(), args...)
+		tr.Counter("jobs.running", 0, q.eng.Now(), float64(q.nextSeq-q.ndone))
+	}
 	e.Submit(spec, ctl, func(r job.Result) { q.complete(sub, r) })
 }
 
@@ -273,6 +291,10 @@ func (q *Queue) complete(sub *Submission, r job.Result) {
 	sub.res = r
 	sub.done = true
 	q.ndone++
+	if tr := q.tracker.Tracer(); tr != nil {
+		tr.Instant("complete:"+sub.name, "sched", 0, q.eng.Now())
+		tr.Counter("jobs.running", 0, q.eng.Now(), float64(q.nextSeq-q.ndone))
+	}
 	if q.onDone != nil {
 		q.onDone(sub)
 	}
@@ -419,6 +441,9 @@ func (q *Queue) At(t float64, name string, fn func()) {
 	now := q.eng.Now()
 	if t <= now {
 		q.timeline = append(q.timeline, TimelineEntry{T: now, Name: name})
+		if tr := q.tracker.Tracer(); tr != nil {
+			tr.Instant(name, "event", 0, now)
+		}
 		fn()
 		return
 	}
@@ -430,6 +455,9 @@ func (q *Queue) At(t float64, name string, fn func()) {
 		// sharing their timestamp, and the single re-armed timer must
 		// preserve that arrival-before-perturbation order.
 		q.drainDueAdmissions()
+		if tr := q.tracker.Tracer(); tr != nil {
+			tr.Instant(name, "event", 0, q.eng.Now())
+		}
 		fn()
 	})
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // SpeculationConfig tunes straggler detection and speculative backup
@@ -184,7 +186,24 @@ type Attempt struct {
 	won      bool
 	done     bool // proc has fully unwound; no code path touches this attempt again
 	outputs  []attemptOutput
+
+	// Tracing state, nil/zero when tracing is off: the attempt's span
+	// (opened at slot grant, closed as the proc unwinds) and the slot
+	// lane it renders on. tr is the tracker's tracer, captured at spawn
+	// so Report can record progress without reaching back.
+	tr   *trace.Tracer
+	span *trace.Span
+	lane int
 }
+
+// TraceSpan returns the attempt's trace span (nil when tracing is off
+// or the slot has not been granted yet). Engines use it to parent
+// their fetch spans and wire dependency edges.
+func (a *Attempt) TraceSpan() *trace.Span { return a.span }
+
+// Tracer returns the recorder the attempt runs under (nil when tracing
+// is off) so task bodies can open their own child spans.
+func (a *Attempt) Tracer() *trace.Tracer { return a.tr }
 
 // Node returns the node this attempt runs on.
 func (a *Attempt) Node() int { return a.node }
@@ -196,13 +215,17 @@ func (a *Attempt) Index() int { return a.index }
 func (a *Attempt) Backup() bool { return a.backup }
 
 // Report records the attempt's progress as a fraction in [0,1]. Progress
-// is monotonic; stale or out-of-range reports are clamped.
+// is monotonic; stale or out-of-range reports are clamped. With tracing
+// on, each milestone that advances progress lands on the span's args.
 func (a *Attempt) Report(frac float64) {
 	if frac > 1 {
 		frac = 1
 	}
 	if frac > a.progress {
 		a.progress = frac
+		if a.tr != nil && a.span != nil {
+			a.span.Annotate("p", strconv.FormatFloat(frac, 'f', 2, 64))
+		}
 	}
 }
 
@@ -303,6 +326,12 @@ type TaskTracker struct {
 	nextUID     int64 // attempt ids, scoping temp output paths
 	timer       *sim.Timer
 	stats       TrackerStats
+
+	// tr records the attempt lifecycle as spans and instants when set.
+	// Tracing is pure observation — it reads the simulated clock at
+	// existing lifecycle boundaries and never adds simulation events —
+	// so a traced run stays bit-identical to an untraced one.
+	tr *trace.Tracer
 
 	// apool is the attempt free list. Attempts are recycled only at tick
 	// compaction, and only from settled tasks whose every attempt has
@@ -429,6 +458,15 @@ func (t *TaskTracker) SetPreemption(c PreemptionConfig) {
 // Stats returns the lifecycle counters accumulated so far.
 func (t *TaskTracker) Stats() TrackerStats { return t.stats }
 
+// SetTracer installs a span recorder for the attempt lifecycle (nil
+// turns tracing off). Call before the simulation runs.
+func (t *TaskTracker) SetTracer(tr *trace.Tracer) { t.tr = tr }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+// Engines read it off their JobControl's tracker so scenario-level
+// tracing reaches every engine without per-engine wiring.
+func (t *TaskTracker) Tracer() *trace.Tracer { return t.tr }
+
 // NoteRecompute records that an engine re-executed a settled task to
 // regenerate output lost with a failed node (a recomputed map, a replayed
 // O rank, a regenerated shuffle partition).
@@ -462,6 +500,9 @@ func (t *TaskTracker) Launch(ts TaskSpec) {
 	t.tasks = append(t.tasks, task)
 	t.outstanding++
 	t.stats.Tasks++
+	if t.tr != nil {
+		t.tr.Counter("tasks.outstanding", 0, t.eng.Now(), float64(t.outstanding))
+	}
 	if !t.seen[ts.Pool] {
 		t.seen[ts.Pool] = true
 		t.pools = append(t.pools, ts.Pool)
@@ -501,6 +542,10 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 	att.proc = t.eng.Go(name, func(p *sim.Proc) {
 		p.Node = node
 		holding := false
+		var waitStart float64
+		if t.tr != nil {
+			waitStart = t.eng.Now()
+		}
 		defer func() {
 			r := recover()
 			if r == nil {
@@ -514,6 +559,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			// while queued), drop any attempt-scoped temp output, and let
 			// the proc die.
 			att.finished = true
+			t.closeAttemptSpan(att, "killed")
 			t.discardOutputs(task, att)
 			if holding {
 				t.releaseSlot(task, att, node)
@@ -538,6 +584,24 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		holding = true
 		att.start = p.Engine().Now()
 		att.started = true
+		if t.tr != nil {
+			// Slot granted: the attempt renders on a per-node slot lane.
+			// The wait span covers gate + queue time (admission→dispatch);
+			// the task span depends on it so the critical-path walk can
+			// descend through scheduling delay.
+			att.tr = t.tr
+			att.lane = t.tr.AcquireLane(node)
+			w := t.tr.Begin(name+".wait", "wait", node, att.lane, waitStart)
+			w.EndAt(att.start)
+			att.span = t.tr.Begin(name, "task", node, att.lane, att.start)
+			att.span.DepOn(w.SpanID()).Annotate("job", task.spec.Handle.name)
+			if task.spec.Group != "" {
+				att.span.Annotate("group", task.spec.Group)
+			}
+			if backup {
+				att.span.Annotate("backup", "1")
+			}
+		}
 		v, err := task.spec.Body(p, att)
 		att.progress = 1
 		att.end = p.Engine().Now()
@@ -548,6 +612,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 			if err == nil && task.spec.Discard != nil {
 				task.spec.Discard(v)
 			}
+			t.closeAttemptSpan(att, "photo-finish")
 			t.discardOutputs(task, att)
 			t.releaseSlot(task, att, node)
 			holding = false
@@ -578,6 +643,7 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 				task.spec.Fail(err)
 			}
 		}
+		t.closeAttemptSpan(att, "")
 		t.releaseSlot(task, att, node)
 		holding = false
 		if task.spec.Final != nil {
@@ -585,6 +651,23 @@ func (t *TaskTracker) spawn(task *trackedTask, node int, backup bool) {
 		}
 		att.done = true
 	})
+}
+
+// closeAttemptSpan ends an attempt's trace span (covering body + commit
+// while the slot was held), releases its slot lane, and annotates the
+// outcome. No-op when tracing is off or the slot was never granted.
+func (t *TaskTracker) closeAttemptSpan(att *Attempt, outcome string) {
+	if att.span == nil {
+		return
+	}
+	if outcome != "" {
+		att.span.Annotate("outcome", outcome)
+	}
+	if att.won {
+		att.span.Annotate("won", "1")
+	}
+	att.span.EndAt(t.eng.Now())
+	t.tr.ReleaseLane(att.node, att.lane)
 }
 
 // commitOutputs renames the winning attempt's scoped temp files to their
@@ -675,6 +758,9 @@ func (t *TaskTracker) NodesDown(nodes []int) {
 		if !t.down[node] {
 			t.down[node] = true
 			fresh[node] = true
+			if t.tr != nil {
+				t.tr.Instant("node-down", "fault", node, t.eng.Now())
+			}
 		}
 	}
 	if len(fresh) == 0 {
@@ -697,6 +783,9 @@ func (t *TaskTracker) NodesDown(nodes []int) {
 			a.killed = true
 			a.proc.Cancel()
 			t.stats.Kills++
+			if t.tr != nil {
+				t.tr.Instant("kill:"+task.spec.Name, "fault", a.node, t.eng.Now())
+			}
 		}
 		live := false
 		for _, a := range task.attempts {
@@ -728,7 +817,12 @@ func (t *TaskTracker) NodesDown(nodes []int) {
 // NodeUp returns a failed node to scheduling service: later launches,
 // retries and backups may be placed there again. In-flight attempts are
 // untouched.
-func (t *TaskTracker) NodeUp(node int) { delete(t.down, node) }
+func (t *TaskTracker) NodeUp(node int) {
+	if t.tr != nil && t.down[node] {
+		t.tr.Instant("node-up", "fault", node, t.eng.Now())
+	}
+	delete(t.down, node)
+}
 
 // requeue respawns a task whose every attempt died with its node. The
 // retry counter is capped by the spec's MaxRetries — past the cap the
@@ -765,6 +859,9 @@ func (t *TaskTracker) requeue(task *trackedTask, node int) {
 				return
 			}
 			t.stats.Retries++
+			if t.tr != nil {
+				t.tr.Instant("retry:"+task.spec.Name, "sched", alt, t.eng.Now())
+			}
 			t.spawn(task, alt, false)
 		})
 		return
@@ -776,6 +873,9 @@ func (t *TaskTracker) requeue(task *trackedTask, node int) {
 		return
 	}
 	t.stats.Retries++
+	if t.tr != nil {
+		t.tr.Instant("retry:"+task.spec.Name, "sched", alt, t.eng.Now())
+	}
 	t.spawn(task, alt, false)
 }
 
@@ -808,6 +908,9 @@ func (t *TaskTracker) settle(task *trackedTask) {
 	task.settled = true
 	t.settledLive++
 	t.outstanding--
+	if t.tr != nil {
+		t.tr.Counter("tasks.outstanding", 0, t.eng.Now(), float64(t.outstanding))
+	}
 	if t.outstanding == 0 && t.timer != nil {
 		t.timer.Cancel()
 		t.timer = nil
@@ -977,6 +1080,9 @@ func (t *TaskTracker) speculate() {
 			}
 			task.backups++
 			t.stats.Backups++
+			if t.tr != nil {
+				t.tr.Instant("speculate:"+task.spec.Name, "sched", node, now)
+			}
 			t.spawn(task, node, true)
 			break
 		}
@@ -1083,6 +1189,9 @@ func (t *TaskTracker) preempt() {
 		victim.proc.Cancel()
 		t.stats.Kills++
 		t.stats.Preemptions++
+		if t.tr != nil {
+			t.tr.Instant("preempt:"+vtask.spec.Name, "sched", node, now)
+		}
 		t.spawn(vtask, vtask.spec.Node, false)
 	}
 }

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Critical-path extraction over the span DAG. Dependency edges (DepOn)
+// record what each span actually waited on: an attempt depends on its
+// slot wait, a reduce fetch depends on the map attempt that produced
+// the data (and on the previous fetch of the same reducer when fetches
+// serialize), a job depends on its final-phase attempts. Walking those
+// edges backwards from the job span yields the chain of intervals that
+// determined the makespan, each attributed to its span's category —
+// which turns "communication dominates Hadoop's sort" from a narrative
+// claim into a computed output.
+
+// Seg is one interval of the critical path, attributed to Span's
+// category. Segments come out in reverse time order (walk order).
+type Seg struct {
+	Span  *Span
+	Start float64
+	End   float64
+}
+
+// Dur returns the segment's duration.
+func (s Seg) Dur() float64 { return s.End - s.Start }
+
+// CriticalPath walks dependency edges backwards from the span with ID
+// root and returns the path segments. At each span the walk picks the
+// dependency that finished last (ties: later start, then higher ID —
+// a total, deterministic order), attributes the interval between that
+// dependency's end and the current position to the current span, and
+// descends. A span without dependencies contributes its whole
+// remaining interval and, when it started after the walk's horizon
+// moved past simulated zero, the gap before it is left unattributed
+// (scheduling idle the instrumentation didn't cover).
+func (t *Tracer) CriticalPath(root uint64) []Seg {
+	if t == nil {
+		return nil
+	}
+	var segs []Seg
+	cur := t.Span(root)
+	horizon := 0.0
+	if cur != nil {
+		horizon = cur.End
+	}
+	visited := map[uint64]bool{}
+	for cur != nil && !visited[cur.ID] {
+		visited[cur.ID] = true
+		best := t.bestDep(cur, visited)
+		lo := cur.Start
+		if best != nil && best.End > lo {
+			lo = best.End
+		}
+		if horizon > lo {
+			segs = append(segs, Seg{Span: cur, Start: lo, End: horizon})
+			horizon = lo
+		}
+		if best == nil {
+			break
+		}
+		if best.End < horizon {
+			horizon = best.End
+		}
+		cur = best
+	}
+	return segs
+}
+
+// bestDep picks the dependency to descend into: the unvisited dep with
+// the latest end (ties broken by later start, then higher ID).
+func (t *Tracer) bestDep(sp *Span, visited map[uint64]bool) *Span {
+	var best *Span
+	for _, id := range sp.Deps {
+		d := t.Span(id)
+		if d == nil || visited[d.ID] {
+			continue
+		}
+		if best == nil || d.End > best.End ||
+			(d.End == best.End && (d.Start > best.Start ||
+				(d.Start == best.Start && d.ID > best.ID))) {
+			best = d
+		}
+	}
+	return best
+}
+
+// CatTotal is the summed path time of one category.
+type CatTotal struct {
+	Cat     string
+	Seconds float64
+}
+
+// ByCategory sums path segments per category, descending by time
+// (category name on ties).
+func ByCategory(segs []Seg) []CatTotal {
+	acc := map[string]float64{}
+	for _, s := range segs {
+		acc[s.Span.Cat] += s.Dur()
+	}
+	out := make([]CatTotal, 0, len(acc))
+	for cat, sec := range acc {
+		out = append(out, CatTotal{cat, sec})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Cat < out[j].Cat
+	})
+	return out
+}
+
+// CategorySeconds returns the summed path time of one category.
+func CategorySeconds(segs []Seg, cat string) float64 {
+	total := 0.0
+	for _, s := range segs {
+		if s.Span.Cat == cat {
+			total += s.Dur()
+		}
+	}
+	return total
+}
+
+// TopSegments returns the k longest path segments, descending by
+// duration (earlier start, then lower span ID on ties).
+func TopSegments(segs []Seg, k int) []Seg {
+	out := append([]Seg(nil), segs...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Dur(), out[j].Dur()
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Span.ID < out[j].Span.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RenderPath formats a critical path as an aligned table: top-k
+// segments by duration plus the per-category totals — the
+// "what determined the makespan" answer as text.
+func RenderPath(segs []Seg, k int) string {
+	var b strings.Builder
+	total := 0.0
+	for _, s := range segs {
+		total += s.Dur()
+	}
+	fmt.Fprintf(&b, "critical path: %d segments, %.2fs attributed\n", len(segs), total)
+	for _, ct := range ByCategory(segs) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * ct.Seconds / total
+		}
+		fmt.Fprintf(&b, "  %-12s %8.2fs  %5.1f%%\n", ct.Cat, ct.Seconds, pct)
+	}
+	top := TopSegments(segs, k)
+	if len(top) > 0 {
+		fmt.Fprintf(&b, "top %d segments:\n", len(top))
+		for _, s := range top {
+			fmt.Fprintf(&b, "  %8.2fs  [%9.2f %9.2f]  %-12s %s\n",
+				s.Dur(), s.Start, s.End, s.Span.Cat, s.Span.Name)
+		}
+	}
+	return b.String()
+}
+
+// JobSpans returns the spans with category "job" in ID order — the
+// roots critical-path analysis starts from.
+func (t *Tracer) JobSpans() []*Span { return t.FindByCat("job") }
+
+// JobSpan returns the job span whose name matches, nil when absent.
+func (t *Tracer) JobSpan(name string) *Span {
+	for _, sp := range t.JobSpans() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}
+
+// PhaseBreakdown sums the durations of phase-category spans under the
+// given job span, keyed by phase name — the span-derived equivalent of
+// the engines' Result.Phases bookkeeping.
+func (t *Tracer) PhaseBreakdown(job uint64) map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	t.Each(func(sp *Span) {
+		if sp.Cat == "phase" && sp.Parent == job {
+			out[sp.Name] += sp.End - sp.Start
+		}
+	})
+	return out
+}

@@ -1,0 +1,282 @@
+// Package trace is a deterministic, allocation-light span recorder for
+// the simulated stack: scheduler attempts, transport stages, engine
+// phases, DFS repairs and scenario perturbations all record onto one
+// timeline in simulated time.
+//
+// Determinism rules: the tracer is a pure observer. It never schedules
+// simulation events, never consumes simulated time, and every record
+// carries the simulated clock of the call site — so a traced run's
+// event order, timings and outputs are bit-identical to an untraced
+// run. All methods are nil-receiver safe and a nil *Tracer is the
+// disabled state: hot paths pay one pointer comparison and no
+// allocation when tracing is off.
+//
+// Spans are allocated from fixed-size arena blocks so recording a long
+// run costs one allocation per 512 spans, not one per span, and span
+// pointers stay stable for the open-span handles the instrumentation
+// holds across callbacks.
+package trace
+
+// Arg is one key/value annotation on a span or instant. Args are an
+// ordered slice, not a map, so exports are byte-deterministic.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Span is one timed interval on a node's track. Start and End are
+// simulated seconds. Deps are the IDs of spans this span waited on —
+// the dependency edges the critical-path walk follows (a reduce fetch
+// depends on the map attempt that produced the data, an attempt depends
+// on its slot wait, and so on).
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Cat    string
+	Node   int
+	Tid    int
+	Start  float64
+	End    float64
+	Args   []Arg
+	Deps   []uint64
+}
+
+// EndAt closes the span at simulated time t. Safe on a nil span.
+func (s *Span) EndAt(t float64) {
+	if s == nil {
+		return
+	}
+	s.End = t
+}
+
+// Annotate appends a key/value arg. Safe on a nil span.
+func (s *Span) Annotate(key, val string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Args = append(s.Args, Arg{key, val})
+	return s
+}
+
+// DepOn records a dependency edge onto the span with the given ID.
+// Zero IDs (a nil span's ID) and self-edges are ignored; safe on nil.
+func (s *Span) DepOn(id uint64) *Span {
+	if s == nil || id == 0 || id == s.ID {
+		return s
+	}
+	s.Deps = append(s.Deps, id)
+	return s
+}
+
+// SpanID returns the span's ID, 0 for nil — so producers can hand
+// their span ID to consumers without nil checks at every site.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// Instant is one point event (a kill, a node failure, a repair).
+type Instant struct {
+	Name string
+	Cat  string
+	Node int
+	T    float64
+	Args []Arg
+}
+
+// CounterSample is one sample of a named counter on a node's track.
+type CounterSample struct {
+	Name  string
+	Node  int
+	T     float64
+	Value float64
+}
+
+// Config tunes what a tracer records. The zero value records
+// everything.
+type Config struct {
+	// NoStages drops the transport stage spans
+	// (serialize/copy/wire/deserialize) — the highest-volume category —
+	// keeping attempt, phase and fetch spans only.
+	NoStages bool
+	// NoCounters drops counter samples.
+	NoCounters bool
+}
+
+// Well-known tids. Task attempt spans use per-node slot lanes
+// (0..slots-1) so one tid reads as one executor slot; the driver and
+// transport tracks sit above them.
+const (
+	TidDriver    = 900 // per-job driver / phase spans
+	TidDFS       = 998 // DFS repair/recovery spans
+	TidTransport = 999 // transport stage spans (overlapping transfers share it)
+)
+
+const blockSize = 512
+
+// Tracer records spans, instants and counters in simulated time. The
+// nil tracer is the disabled tracer: every method is nil-receiver safe
+// and does no work.
+type Tracer struct {
+	cfg      Config
+	blocks   [][]Span // arena: fixed-size blocks, stable span addresses
+	n        int      // spans recorded
+	instants []Instant
+	counters []CounterSample
+	lanes    [][]bool // per-node slot-lane occupancy for tid assignment
+}
+
+// New creates an enabled tracer.
+func New(cfg Config) *Tracer {
+	return &Tracer{cfg: cfg}
+}
+
+// Enabled reports whether the tracer records (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Stages reports whether transport stage spans should be recorded.
+func (t *Tracer) Stages() bool { return t != nil && !t.cfg.NoStages }
+
+// alloc hands out the next span slot from the arena.
+func (t *Tracer) alloc() *Span {
+	bi, si := t.n/blockSize, t.n%blockSize
+	if si == 0 {
+		t.blocks = append(t.blocks, make([]Span, blockSize))
+	}
+	t.n++
+	return &t.blocks[bi][si]
+}
+
+// Begin opens a span at simulated time start. Returns nil (a no-op
+// handle) when the tracer is nil. The caller closes it with EndAt.
+func (t *Tracer) Begin(name, cat string, node, tid int, start float64) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.alloc()
+	*sp = Span{
+		ID:    uint64(t.n), // IDs are 1-based creation order
+		Name:  name,
+		Cat:   cat,
+		Node:  node,
+		Tid:   tid,
+		Start: start,
+		End:   start,
+	}
+	return sp
+}
+
+// BeginChild opens a span parented under parent (nil parent = root).
+func (t *Tracer) BeginChild(parent *Span, name, cat string, node, tid int, start float64) *Span {
+	sp := t.Begin(name, cat, node, tid, start)
+	if sp != nil && parent != nil {
+		sp.Parent = parent.ID
+	}
+	return sp
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(name, cat string, node int, at float64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	var as []Arg
+	if len(args) > 0 {
+		as = append(as, args...)
+	}
+	t.instants = append(t.instants, Instant{Name: name, Cat: cat, Node: node, T: at, Args: as})
+}
+
+// Counter records one sample of a named counter.
+func (t *Tracer) Counter(name string, node int, at, value float64) {
+	if t == nil || t.cfg.NoCounters {
+		return
+	}
+	t.counters = append(t.counters, CounterSample{Name: name, Node: node, T: at, Value: value})
+}
+
+// AcquireLane assigns the lowest free slot lane on node — the tid a
+// task attempt's span renders on, so each per-node track reads as one
+// executor slot. Returns 0 for a nil tracer.
+func (t *Tracer) AcquireLane(node int) int {
+	if t == nil {
+		return 0
+	}
+	for node >= len(t.lanes) {
+		t.lanes = append(t.lanes, nil)
+	}
+	ls := t.lanes[node]
+	for i, busy := range ls {
+		if !busy {
+			ls[i] = true
+			return i
+		}
+	}
+	t.lanes[node] = append(ls, true)
+	return len(t.lanes[node]) - 1
+}
+
+// ReleaseLane frees a lane acquired with AcquireLane.
+func (t *Tracer) ReleaseLane(node, lane int) {
+	if t == nil || node >= len(t.lanes) || lane >= len(t.lanes[node]) {
+		return
+	}
+	t.lanes[node][lane] = false
+}
+
+// Len returns the number of spans recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Span returns the span with the given 1-based ID, nil when absent.
+func (t *Tracer) Span(id uint64) *Span {
+	if t == nil || id == 0 || int(id) > t.n {
+		return nil
+	}
+	i := int(id) - 1
+	return &t.blocks[i/blockSize][i%blockSize]
+}
+
+// Each calls fn for every span in creation (ID) order.
+func (t *Tracer) Each(fn func(*Span)) {
+	if t == nil {
+		return
+	}
+	for i := 0; i < t.n; i++ {
+		fn(&t.blocks[i/blockSize][i%blockSize])
+	}
+}
+
+// Instants returns the recorded point events in record order.
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	return t.instants
+}
+
+// Counters returns the recorded counter samples in record order.
+func (t *Tracer) Counters() []CounterSample {
+	if t == nil {
+		return nil
+	}
+	return t.counters
+}
+
+// FindByCat returns the spans with the given category in ID order.
+func (t *Tracer) FindByCat(cat string) []*Span {
+	var out []*Span
+	t.Each(func(sp *Span) {
+		if sp.Cat == cat {
+			out = append(out, sp)
+		}
+	})
+	return out
+}

@@ -1,6 +1,11 @@
 package transport
 
-import "github.com/datampi/datampi-go/internal/sim"
+import (
+	"strconv"
+
+	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
+)
 
 // Board publishes pipelined map-output streams for one job: producers
 // open a Stream per map attempt and commit output fractions as blocks
@@ -125,8 +130,27 @@ func (s *Stream) Fetch(p *sim.Proc, pi, dst int, onChunk func(srcNode int, bytes
 		want = s.parts[pi]
 	}
 	fetched := 0.0
+	chunks := 0
+	var fsp *trace.Span
+	if t.tr != nil && t.tr.Stages() {
+		fsp = t.tr.Begin("stream-fetch", "net", dst, trace.TidTransport, t.c.Eng.Now()).
+			Annotate("src", strconv.Itoa(s.node)).
+			Annotate("map", strconv.Itoa(s.producer))
+	}
+	end := func(ok bool) {
+		if fsp == nil {
+			return
+		}
+		fsp.Annotate("bytes", strconv.FormatFloat(fetched, 'f', 0, 64)).
+			Annotate("chunks", strconv.Itoa(chunks))
+		if !ok {
+			fsp.Annotate("failed", "1")
+		}
+		fsp.EndAt(t.c.Eng.Now())
+	}
 	for {
 		if s.failed || !t.c.Alive(s.node) {
+			end(false)
 			return fetched, false
 		}
 		avail := s.frac * want
@@ -142,6 +166,7 @@ func (s *Stream) Fetch(p *sim.Proc, pi, dst int, onChunk func(srcNode int, bytes
 			t.FetchStages(s.node, dst, chunk, recs, wg.Done)
 			wg.Wait(p)
 			fetched += chunk
+			chunks++
 			t.stats.BytesPipelined += chunk
 			if overlapped {
 				t.stats.BytesOverlapped += chunk
@@ -152,6 +177,7 @@ func (s *Stream) Fetch(p *sim.Proc, pi, dst int, onChunk func(srcNode int, bytes
 			continue
 		}
 		if s.finished && fetched >= want-1e-12 {
+			end(true)
 			return fetched, true
 		}
 		s.cond.Wait(p, "pipeline-wait")

@@ -17,9 +17,11 @@ package transport
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/datampi/datampi-go/internal/cluster"
 	"github.com/datampi/datampi-go/internal/sim"
+	"github.com/datampi/datampi-go/internal/trace"
 )
 
 // Profile holds one engine's per-stage communication costs. The zero
@@ -183,6 +185,10 @@ type Transport struct {
 	// membus is the lazy per-node copy-stage resource (CopyBandwidth
 	// capacity, processor-sharing like every other stage resource).
 	membus []*sim.PSResource
+	// tr records stage spans when attached. Tracing is pure
+	// observation: it adds no simulator events and never changes
+	// timings; nil means off.
+	tr *trace.Tracer
 }
 
 // New builds a transport over a cluster with the given profile. It
@@ -193,6 +199,19 @@ func New(c *cluster.Cluster, prof Profile) *Transport {
 
 // SetEnabled switches staged accounting on or off.
 func (t *Transport) SetEnabled(on bool) { t.enabled = on }
+
+// SetTracer attaches a span recorder (nil detaches).
+func (t *Transport) SetTracer(tr *trace.Tracer) { t.tr = tr }
+
+// stageSpan opens a transport-stage span on the dedicated transport
+// lane, or returns nil when stage tracing is off.
+func (t *Transport) stageSpan(name string, node int, bytes float64) *trace.Span {
+	if t.tr == nil || !t.tr.Stages() {
+		return nil
+	}
+	return t.tr.Begin(name, name, node, trace.TidTransport, t.c.Eng.Now()).
+		Annotate("bytes", strconv.FormatFloat(bytes, 'f', 0, 64))
+}
 
 // Enabled reports whether staged accounting is active.
 func (t *Transport) Enabled() bool { return t != nil && t.enabled }
@@ -287,9 +306,12 @@ func (t *Transport) SendStages(node int, bytes, records float64, onDone func()) 
 	t.stats.BytesSerialized += bytes
 	ser := p.SerializeCPUPerByte*bytes + p.SerializeCPUPerRecord*records
 	zc := t.zeroCopyEligible(bytes, records)
+	ssp := t.stageSpan("serialize", node, bytes)
 	copyStage := func() {
+		ssp.EndAt(t.c.Eng.Now())
 		if zc {
 			t.stats.BytesZeroCopied += bytes
+			ssp.Annotate("zerocopy", "1")
 			t.c.Eng.Post(0, onDone)
 			return
 		}
@@ -298,7 +320,15 @@ func (t *Transport) SendStages(node int, bytes, records float64, onDone func()) 
 			t.c.Eng.Post(0, onDone)
 			return
 		}
-		t.bus(node).Start(bytes, onDone)
+		done := onDone
+		if csp := t.stageSpan("copy", node, bytes); csp != nil {
+			csp.DepOn(ssp.SpanID())
+			done = func() {
+				csp.EndAt(t.c.Eng.Now())
+				onDone()
+			}
+		}
+		t.bus(node).Start(bytes, done)
 	}
 	t.cpu(node, ser, copyStage)
 }
@@ -307,6 +337,13 @@ func (t *Transport) SendStages(node int, bytes, records float64, onDone func()) 
 func (t *Transport) recvStages(dst int, bytes, records float64, onDone func()) {
 	p := t.prof
 	deser := p.DeserializeCPUPerByte*bytes + p.DeserializeCPUPerRecord*records
+	if dsp := t.stageSpan("deserialize", dst, bytes); dsp != nil {
+		inner := onDone
+		onDone = func() {
+			dsp.EndAt(t.c.Eng.Now())
+			inner()
+		}
+	}
 	t.cpu(dst, deser, onDone)
 }
 
@@ -323,10 +360,12 @@ func (t *Transport) wire(src, dst int, bytes, records float64, onDone func()) {
 		mem = t.c.Node(src).Mem
 		mem.MustAlloc(pin)
 	}
+	wsp := t.stageSpan("wire", src, bytes).Annotate("dst", strconv.Itoa(dst))
 	t.c.Net.StartFlow(src, dst, bytes, func() {
 		if mem != nil {
 			mem.Free(pin)
 		}
+		wsp.EndAt(t.c.Eng.Now())
 		t.recvStages(dst, bytes, records, onDone)
 	})
 }

@@ -28,6 +28,7 @@ package datampi
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"github.com/datampi/datampi-go/internal/dfs"
 	"github.com/datampi/datampi-go/internal/metrics"
 	"github.com/datampi/datampi-go/internal/sched"
+	"github.com/datampi/datampi-go/internal/trace"
 	"github.com/datampi/datampi-go/internal/transport"
 )
 
@@ -387,6 +389,7 @@ type Scenario struct {
 	monCfg   *dfs.MonitorConfig
 	stream   bool
 	tpCfg    *TransportConfig
+	trcCfg   *TraceConfig
 	err      error
 }
 
@@ -713,6 +716,19 @@ func WithTransport(cfg TransportConfig) ScenarioOption {
 	return func(s *Scenario) { s.tpCfg = &cfg }
 }
 
+// WithTracing records a structured span trace of the run: task attempts
+// on per-node slot lanes, queue admission→dispatch waits, engine phases,
+// shuffle fetches with their dependency edges, transport stages, DFS
+// repairs, and every timeline perturbation as an instant. The recorder is
+// a pure observer — a traced run's simulated timings, event order and
+// results are bit-identical to an untraced run — and the finished trace
+// comes back on Report.Trace (export it with Report.WriteTrace, analyze
+// it with Tracer.CriticalPath). The zero TraceConfig records everything;
+// see TraceConfig for the volume knobs.
+func WithTracing(cfg TraceConfig) ScenarioOption {
+	return func(s *Scenario) { s.trcCfg = &cfg }
+}
+
 // WithFidelity pins the simulation-kernel fidelity the scenario's timings
 // are captured against. Fidelity is a property of the testbed (set it in
 // TestbedConfig.Fidelity — resources snapshot it at construction), so the
@@ -795,6 +811,14 @@ type Report struct {
 	// Transport carries the staged-transport counters accumulated while
 	// the scenario ran (zero unless WithTransport enabled the model).
 	Transport TransportStats
+	// Trace is the run's span recorder (nil unless WithTracing was set).
+	// Export it with WriteTrace; walk it with Tracer.CriticalPath,
+	// Tracer.PhaseBreakdown and friends.
+	Trace *Tracer
+	// Phases breaks each tenant's span-derived phase time down by phase
+	// name (map/reduce, O/A, stage0/stage1...), summed over the tenant's
+	// jobs. Populated only when WithTracing was set.
+	Phases map[string]map[string]float64
 	// Start and End bracket the jobs: earliest arrival and latest
 	// completion, scenario-relative.
 	Start, End float64
@@ -815,6 +839,16 @@ func (r *Report) Err() error {
 	return nil
 }
 
+// WriteTrace writes the run's trace as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. It errors when the
+// scenario ran without WithTracing.
+func (r *Report) WriteTrace(w io.Writer) error {
+	if r.Trace == nil {
+		return fmt.Errorf("datampi: report has no trace; run the scenario with WithTracing")
+	}
+	return r.Trace.WriteChrome(w)
+}
+
 // Render formats the report as an aligned per-tenant table with the
 // timeline and lifecycle counters, for CLIs and examples.
 func (r *Report) Render() string {
@@ -825,6 +859,24 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "%-12s %6g %5d %6d %8.1f %8.1f %8.1f %8.0f%%\n",
 			t.Name, t.Weight, t.Jobs, t.Failed,
 			t.Response.P50, t.Response.P95, t.Response.Mean, t.SlotShare*100)
+	}
+	if len(r.Phases) > 0 {
+		for _, t := range r.Tenants {
+			ph := r.Phases[t.Name]
+			if len(ph) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(ph))
+			for k := range ph {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "phases %s:", t.Name)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s %.1fs", k, ph[k])
+			}
+			b.WriteString("\n")
+		}
 	}
 	for _, te := range r.Timeline {
 		fmt.Fprintf(&b, "event: t=%.0fs %s\n", te.T, te.Name)
@@ -923,6 +975,18 @@ func (s *Scenario) Run() (*Report, error) {
 	q.SetSpeculation(s.spec)
 	q.SetPreemption(s.pre)
 	q.SetLocalitySlack(s.slack)
+	var tr *trace.Tracer
+	if s.trcCfg != nil {
+		// The tracer rides the queue's tracker into every engine submit
+		// and the filesystem into the replication monitor; the FS hookup
+		// is scoped to this run so repeated scenarios on one testbed do
+		// not cross-record.
+		tr = trace.New(*s.trcCfg)
+		q.SetTracer(tr)
+		prevFSTr := s.tb.FS.Tracer()
+		s.tb.FS.SetTracer(tr)
+		defer s.tb.FS.SetTracer(prevFSTr)
+	}
 	rc := &runCtx{tb: s.tb, q: q, start: runStart, slow: make(map[int]float64)}
 
 	// admitAbs admits one job at an absolute simulated time under its
@@ -946,6 +1010,7 @@ func (s *Scenario) Run() (*Report, error) {
 		jobs, failed int
 		sk           metrics.Sketch
 		slotSec      float64
+		phases       map[string]float64
 	}
 	var (
 		chain     map[*sched.Submission]chainKey
@@ -994,6 +1059,14 @@ func (s *Scenario) Run() (*Report, error) {
 				}
 			} else {
 				agg.sk.Add(res.End - sub.Arrival())
+			}
+			if tr != nil && len(res.Phases) > 0 {
+				if agg.phases == nil {
+					agg.phases = make(map[string]float64)
+				}
+				for k, v := range res.Phases {
+					agg.phases[k] += v
+				}
 			}
 			if end := res.End - runStart; res.End > 0 && end > lastEnd {
 				lastEnd = end
@@ -1111,7 +1184,10 @@ func (s *Scenario) Run() (*Report, error) {
 		st.tp.SetPipelineMode(st.mode)
 	}
 
-	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted(), Transport: tpDelta}
+	rep := &Report{Tracker: q.TrackerStats(), Makespan: makespan, Notes: rc.notes, Submitted: q.Admitted(), Transport: tpDelta, Trace: tr}
+	if tr != nil {
+		rep.Phases = make(map[string]map[string]float64)
+	}
 	rep.Recovery.TasksRecomputed = rep.Tracker.Recomputes
 	rep.Recovery.CacheRecomputes = rep.Tracker.CacheRecomputes
 	rep.Recovery.PermanentFailures = rep.Tracker.PermanentFails
@@ -1151,17 +1227,20 @@ func (s *Scenario) Run() (*Report, error) {
 			}
 		}
 		for _, t := range s.tenants {
-			tr := TenantReport{Name: t.name, Weight: t.weight}
+			trep := TenantReport{Name: t.name, Weight: t.weight}
 			if agg := aggs[t.name]; agg != nil {
-				tr.Response = agg.sk.Dist()
-				tr.Jobs = agg.jobs
-				tr.Failed = agg.failed
-				tr.SlotSeconds = agg.slotSec
+				trep.Response = agg.sk.Dist()
+				trep.Jobs = agg.jobs
+				trep.Failed = agg.failed
+				trep.SlotSeconds = agg.slotSec
+				if tr != nil && len(agg.phases) > 0 {
+					rep.Phases[t.name] = agg.phases
+				}
 			}
 			if slotTotal > 0 {
-				tr.SlotShare = tr.SlotSeconds / slotTotal
+				trep.SlotShare = trep.SlotSeconds / slotTotal
 			}
-			rep.Tenants = append(rep.Tenants, tr)
+			rep.Tenants = append(rep.Tenants, trep)
 		}
 		if !math.IsInf(firstArr, 1) {
 			rep.Start = firstArr
@@ -1203,6 +1282,16 @@ func (s *Scenario) Run() (*Report, error) {
 		}
 		if arrRel < firstArr {
 			firstArr = arrRel
+		}
+		if tr != nil && len(res.Phases) > 0 {
+			m := rep.Phases[jr.Tenant]
+			if m == nil {
+				m = make(map[string]float64)
+				rep.Phases[jr.Tenant] = m
+			}
+			for k, v := range res.Phases {
+				m[k] += v
+			}
 		}
 		slotTotal += slotSec
 		rep.Jobs = append(rep.Jobs, jr)

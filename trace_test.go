@@ -1,0 +1,198 @@
+package datampi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	datampi "github.com/datampi/datampi-go"
+)
+
+// traceRig builds a fresh small testbed with a staged input and an engine
+// of the named framework, for trace acceptance tests that need identical
+// repeated runs.
+func traceRig(t *testing.T, fw string, seed int64) (*datampi.Testbed, datampi.ConcurrentEngine, datampi.Job) {
+	t.Helper()
+	tb := datampi.NewTestbed(datampi.TestbedConfig{Scale: 1024, Seed: seed})
+	in := tb.GenerateText("/in", 256*datampi.MB, seed)
+	var eng datampi.ConcurrentEngine
+	switch fw {
+	case "Hadoop":
+		eng = datampi.NewHadoop(tb.FS)
+	case "Spark":
+		eng = datampi.NewSpark(tb.FS)
+	default:
+		eng = datampi.New(tb.FS, datampi.DefaultConfig())
+	}
+	return tb, eng, datampi.TextSort(tb.FS, in, "/out/sort", 8)
+}
+
+// TestTracingIsPureObserver is the differential gate: for each engine,
+// the same scenario run with and without WithTracing must produce
+// identical simulated timings — per-job start/end/elapsed, phase
+// durations, and the makespan. The tracer may observe; it may not
+// perturb.
+func TestTracingIsPureObserver(t *testing.T) {
+	for _, fw := range []string{"Hadoop", "Spark", "DataMPI"} {
+		t.Run(fw, func(t *testing.T) {
+			run := func(traced bool) *datampi.Report {
+				tb, eng, sort := traceRig(t, fw, 7)
+				opts := []datampi.ScenarioOption{
+					datampi.Tenant("t", 1, eng),
+					datampi.Arrive("t", 0, sort),
+					datampi.At(3, datampi.SlowNode(2, 2)),
+					datampi.At(30, datampi.RestoreNode(2)),
+				}
+				if traced {
+					opts = append(opts, datampi.WithTracing(datampi.TraceConfig{}))
+				}
+				rep, err := datampi.NewScenario(tb, opts...).Run()
+				if err != nil {
+					t.Fatalf("%s scenario: %v", fw, err)
+				}
+				return rep
+			}
+			off, on := run(false), run(true)
+			if off.Trace != nil {
+				t.Fatal("untraced run carries a trace")
+			}
+			if on.Trace == nil || on.Trace.Len() == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			if off.Makespan != on.Makespan {
+				t.Fatalf("tracing changed the makespan: %v vs %v", off.Makespan, on.Makespan)
+			}
+			if len(off.Jobs) != len(on.Jobs) {
+				t.Fatalf("job counts differ: %d vs %d", len(off.Jobs), len(on.Jobs))
+			}
+			for i := range off.Jobs {
+				a, b := off.Jobs[i].Result, on.Jobs[i].Result
+				if a.Start != b.Start || a.End != b.End || a.Elapsed != b.Elapsed {
+					t.Fatalf("job %d timings differ under tracing: %+v vs %+v", i, a, b)
+				}
+				if len(a.Phases) != len(b.Phases) {
+					t.Fatalf("job %d phase sets differ: %v vs %v", i, a.Phases, b.Phases)
+				}
+				for k, v := range a.Phases {
+					if bv, ok := b.Phases[k]; !ok || bv != v {
+						t.Fatalf("job %d phase %q: %v (off) vs %v (on)", i, k, v, b.Phases[k])
+					}
+				}
+			}
+			// The span-derived tenant phase breakdown must agree exactly
+			// with the per-job result phases (same float subtractions).
+			want := map[string]float64{}
+			for i := range on.Jobs {
+				for k, v := range on.Jobs[i].Result.Phases {
+					want[k] += v
+				}
+			}
+			got := on.Phases["t"]
+			if len(got) != len(want) {
+				t.Fatalf("report phase keys = %v, want %v", got, want)
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("report phase %q = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceByteDeterminism is the CI-gated export contract: two
+// identically-configured traced runs must serialize to byte-identical
+// Chrome JSON, and that JSON must parse as a structurally valid trace.
+func TestTraceByteDeterminism(t *testing.T) {
+	run := func() []byte {
+		tb, eng, sort := traceRig(t, "Hadoop", 11)
+		rep, err := datampi.NewScenario(tb,
+			datampi.WithTracing(datampi.TraceConfig{}),
+			datampi.Tenant("t", 1, eng),
+			datampi.Arrive("t", 0, sort),
+			datampi.At(4, datampi.NodeDown(5)),
+			datampi.At(25, datampi.NodeUp(5)),
+		).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := rep.WriteTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	b1, b2 := run(), run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two identical traced runs serialized differently")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	instants := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		kinds[e.Ph] = true
+		if e.Ph == "i" {
+			instants[e.Name] = true
+		}
+	}
+	for _, ph := range []string{"X", "i", "M"} {
+		if !kinds[ph] {
+			t.Fatalf("trace missing %q records (kinds %v)", ph, kinds)
+		}
+	}
+	// The scenario's perturbations land on the trace as instants.
+	if !instants["node-down-5"] && !instants["node-down"] {
+		t.Fatalf("node-down perturbation not on the trace: %v", instants)
+	}
+}
+
+// TestSortCriticalPathCommunication computes the paper's Section 4.4
+// claim from traces: on Hadoop's sort, the serialized shuffle puts
+// substantial communication time on the critical path; DataMPI's O/A
+// overlap hides all but the unoverlapped tail, so its path attributes a
+// strictly smaller share to communication.
+func TestSortCriticalPathCommunication(t *testing.T) {
+	netShare := func(fw string) float64 {
+		tb, eng, sort := traceRig(t, fw, 5)
+		rep, err := datampi.NewScenario(tb,
+			datampi.WithTracing(datampi.TraceConfig{}),
+			datampi.Tenant("t", 1, eng),
+			datampi.Arrive("t", 0, sort),
+		).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := rep.Trace.JobSpans()
+		if len(jobs) != 1 {
+			t.Fatalf("%s: %d job spans, want 1", fw, len(jobs))
+		}
+		segs := rep.Trace.CriticalPath(jobs[0].ID)
+		if len(segs) == 0 {
+			t.Fatalf("%s: empty critical path", fw)
+		}
+		total := 0.0
+		for _, s := range segs {
+			total += s.Dur()
+		}
+		if total <= 0 {
+			t.Fatalf("%s: critical path attributes no time", fw)
+		}
+		return datampi.PathSeconds(segs, "net") / total
+	}
+	h, d := netShare("Hadoop"), netShare("DataMPI")
+	if h <= 0 {
+		t.Fatalf("Hadoop sort path attributes no communication (share %v)", h)
+	}
+	if !(d < h) || math.IsNaN(d) {
+		t.Fatalf("DataMPI net share %.3f not below Hadoop's %.3f — overlap not visible on the path", d, h)
+	}
+}
